@@ -1,0 +1,310 @@
+// Benchmarks regenerating every figure/theorem of the paper (experiment
+// ids E1–E12 from DESIGN.md). Each benchmark both measures the cost of
+// the relevant pipeline and asserts the paper-predicted outcome, so
+// `go test -bench=. -benchmem` doubles as the reproduction run.
+package wavedag_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wavedag"
+	"wavedag/internal/check"
+	"wavedag/internal/conflict"
+	"wavedag/internal/core"
+	"wavedag/internal/cycles"
+	"wavedag/internal/gen"
+	"wavedag/internal/load"
+	"wavedag/internal/route"
+	"wavedag/internal/upp"
+	"wavedag/internal/wdm"
+)
+
+// E1 / Figure 1: the pathological staircase has π = 2 and w = k.
+func BenchmarkFig1Pathological(b *testing.B) {
+	for _, k := range []int{4, 8, 12} {
+		g, fam, err := gen.Fig1Staircase(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cg := conflict.FromFamily(g, fam)
+				w := cg.ChromaticNumber()
+				if load.Pi(g, fam) != 2 || w != k {
+					b.Fatalf("π=2,w=%d expected, got w=%d", k, w)
+				}
+			}
+		})
+	}
+}
+
+// E2 / Figure 3: one internal cycle, C5 conflict graph, π = 2, w = 3.
+func BenchmarkFig3InternalCycle(b *testing.B) {
+	g, fam := gen.Fig3()
+	for i := 0; i < b.N; i++ {
+		cg := conflict.FromFamily(g, fam)
+		if !cg.IsCycle() || cg.ChromaticNumber() != 3 || load.Pi(g, fam) != 2 {
+			b.Fatal("Figure 3 shape lost")
+		}
+	}
+}
+
+// E3 / Theorem 1: w = π via the constructive algorithm on random
+// internal-cycle-free instances of growing size.
+func BenchmarkTheorem1(b *testing.B) {
+	for _, cfg := range []struct{ nInt, paths int }{
+		{15, 40}, {60, 250}, {120, 600}, {240, 1500},
+	} {
+		g, err := gen.RandomNoInternalCycleDAG(cfg.nInt, 4, 4, 0.2, int64(cfg.nInt))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fam := gen.RandomWalkFamily(g, cfg.paths, 8, int64(cfg.paths))
+		b.Run(fmt.Sprintf("n=%d/paths=%d", cfg.nInt, cfg.paths), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.ColorNoInternalCycle(g, fam)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := check.WavelengthsWithinLoad(g, fam, res.Colors); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E4 / Theorem 2 (Figure 5): gadget with conflict graph C_{2k+1}.
+func BenchmarkTheorem2(b *testing.B) {
+	for _, k := range []int{3, 6, 12} {
+		g, fam, err := gen.InternalCycleGadget(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cg := conflict.FromFamily(g, fam)
+				if !cg.IsCycle() || cg.N() != 2*k+1 || cg.ChromaticNumber() != 3 {
+					b.Fatal("gadget shape lost")
+				}
+			}
+		})
+	}
+}
+
+// E5 / Property 3: load equals conflict clique number on UPP-DAGs.
+func BenchmarkUPPClique(b *testing.B) {
+	g := gen.RandomUPPDAG(25, 120, 5)
+	fam, err := gen.AllSourceSinkFamily(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		pi := load.Pi(g, fam)
+		om := conflict.FromFamily(g, fam).CliqueNumber()
+		if pi != om {
+			b.Fatalf("π=%d ω=%d", pi, om)
+		}
+	}
+}
+
+// E6 / Corollary 5: no induced K_{2,3} in UPP conflict graphs.
+func BenchmarkUPPNoK23(b *testing.B) {
+	g := gen.RandomUPPDAG(25, 120, 6)
+	fam, err := gen.AllSourceSinkFamily(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cg := conflict.FromFamily(g, fam)
+	for i := 0; i < b.N; i++ {
+		if _, _, found := cg.FindK23(); found {
+			b.Fatal("induced K23 found")
+		}
+	}
+}
+
+// E7 / Theorem 6: constructive ⌈4π/3⌉ coloring on one-cycle UPP-DAGs.
+func BenchmarkTheorem6(b *testing.B) {
+	gH, famH := gen.Havet()
+	workloads := []struct {
+		name string
+		fam  wavedag.Family
+	}{
+		{"havet-x3", famH.Replicate(3)},
+		{"havet-x8", famH.Replicate(8)},
+	}
+	gg, _, err := gen.InternalCycleGadget(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all, err := gen.AllSourceSinkFamily(gg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, wl := range workloads {
+		b.Run(wl.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.ColorOneInternalCycleUPP(gH, wl.fam)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := check.WavelengthsWithinBound(gH, wl.fam, res.Colors, 4, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("gadget-allpairs-x4", func(b *testing.B) {
+		fam := all.Replicate(4)
+		for i := 0; i < b.N; i++ {
+			res, err := core.ColorOneInternalCycleUPP(gg, fam)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := check.WavelengthsWithinBound(gg, fam, res.Colors, 4, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E8 / Theorem 7 (Figure 9): the replicated Havet instance reaches the
+// ⌈4π/3⌉ bound exactly: w = ⌈8h/3⌉.
+func BenchmarkTheorem7(b *testing.B) {
+	g, fam := gen.Havet()
+	for _, h := range []int{3, 6, 12} {
+		rep := fam.Replicate(h)
+		want := (8*h + 2) / 3
+		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.ColorOneInternalCycleUPP(g, rep)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.NumColors != want {
+					b.Fatalf("w=%d want %d", res.NumColors, want)
+				}
+			}
+		})
+	}
+}
+
+// E9: the C5 gadget replicated h times has χ = ⌈5h/2⌉ (ratio 5/4).
+func BenchmarkC5Replicated(b *testing.B) {
+	g, fam, err := gen.InternalCycleGadget(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range []int{2, 3} {
+		rep := fam.Replicate(h)
+		want := (5*h + 1) / 2
+		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if chi := conflict.FromFamily(g, rep).ChromaticNumber(); chi != want {
+					b.Fatalf("χ=%d want %d", chi, want)
+				}
+			}
+		})
+	}
+}
+
+// E10: disjoint unions with C independent internal cycles.
+func BenchmarkMultiCycle(b *testing.B) {
+	gh, fh := gen.Havet()
+	for _, c := range []int{2, 4} {
+		parts := make([]gen.Instance, c)
+		for i := range parts {
+			parts[i] = gen.Instance{G: gh, F: fh}
+		}
+		g, fam := gen.DisjointUnion(parts...)
+		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if cycles.IndependentCycleCount(g) != c {
+					b.Fatal("cycle count wrong")
+				}
+				cg := conflict.FromFamily(g, fam)
+				if w := conflict.CountColors(cg.DSATURColoring()); w < 3 {
+					b.Fatalf("w=%d", w)
+				}
+			}
+		})
+	}
+}
+
+// E11: rooted trees (arborescences): w = π on all-pairs workloads.
+func BenchmarkRootedTree(b *testing.B) {
+	for _, n := range []int{30, 120} {
+		g := gen.RandomArborescence(n, int64(n))
+		r, err := upp.NewRouter(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fam := r.AllPairsFamily()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.ColorNoInternalCycle(g, fam)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := check.WavelengthsWithinLoad(g, fam, res.Colors); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E12: coloring algorithm shoot-out on a fixed instance.
+func BenchmarkColoringAlgorithms(b *testing.B) {
+	g, err := gen.RandomNoInternalCycleDAG(40, 4, 4, 0.25, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fam := gen.RandomWalkFamily(g, 150, 7, 4)
+	cg := conflict.FromFamily(g, fam)
+	b.Run("theorem1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ColorNoInternalCycle(g, fam); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cg.GreedyColoring(nil)
+		}
+	})
+	b.Run("dsatur", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cg.DSATURColoring()
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cg.ChromaticNumber()
+		}
+	})
+}
+
+// Full RWA pipeline benchmark (routing + assignment) on a WDM network.
+func BenchmarkRWAPipeline(b *testing.B) {
+	topo, err := gen.RandomNoInternalCycleDAG(40, 6, 6, 0.2, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := &wdm.Network{Topology: topo, Wavelengths: 32}
+	reqs := route.AllToAll(topo)
+	if len(reqs) > 200 {
+		reqs = reqs[:200]
+	}
+	for _, policy := range []wdm.RoutingPolicy{wdm.RouteShortest, wdm.RouteMinLoad} {
+		b.Run(policy.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := net.Provision(reqs, policy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

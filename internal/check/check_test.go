@@ -1,0 +1,99 @@
+package check
+
+import (
+	"testing"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+	"wavedag/internal/gen"
+)
+
+func chain() (*digraph.Digraph, dipath.Family) {
+	g := digraph.New(4)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	g.MustAddArc(2, 3)
+	fam := dipath.Family{
+		dipath.MustFromVertices(g, 0, 1, 2),
+		dipath.MustFromVertices(g, 1, 2, 3),
+		dipath.MustFromVertices(g, 2, 3),
+	}
+	return g, fam
+}
+
+func TestColoringAcceptsProper(t *testing.T) {
+	g, fam := chain()
+	if err := Coloring(g, fam, []int{0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColoringRejects(t *testing.T) {
+	g, fam := chain()
+	if err := Coloring(g, fam, []int{0, 0, 1}); err == nil {
+		t.Fatal("conflict on arc 1->2 not caught")
+	}
+	if err := Coloring(g, fam, []int{0, 1}); err == nil {
+		t.Fatal("length mismatch not caught")
+	}
+	if err := Coloring(g, fam, []int{0, -1, 1}); err == nil {
+		t.Fatal("uncolored path not caught")
+	}
+}
+
+func TestWavelengthsWithinLoad(t *testing.T) {
+	g, fam := chain()
+	// π = 2 here (arc 1->2 carries two paths). Exactly 2 colors: OK.
+	if err := WavelengthsWithinLoad(g, fam, []int{0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// 3 colors: valid coloring but not tight — must be rejected.
+	if err := WavelengthsWithinLoad(g, fam, []int{0, 1, 2}); err == nil {
+		t.Fatal("non-tight coloring accepted as Theorem-1-tight")
+	}
+}
+
+func TestWavelengthsWithinBound(t *testing.T) {
+	g, fam := gen.Havet()
+	// π = 2, bound ⌈8/3⌉ = 3.
+	colors := make([]int, len(fam))
+	for i := range colors {
+		colors[i] = i // 8 distinct colors: proper but over the bound
+	}
+	if err := WavelengthsWithinBound(g, fam, colors, 4, 3); err == nil {
+		t.Fatal("8 colors accepted against bound 3")
+	}
+	// A genuine 3-coloring of the Wagner conflict graph:
+	// cycle order R0 R1 R2 R3 R4 R5 R6 R7 with chords i—i±(cycle),
+	// independent classes {0,2,5}, {1,3,6}, {4,7}.
+	good := []int{0, 1, 0, 1, 2, 0, 1, 2}
+	if err := WavelengthsWithinBound(g, fam, good, 4, 3); err != nil {
+		t.Fatalf("valid 3-coloring rejected: %v", err)
+	}
+}
+
+func TestLowerBoundByIndependence(t *testing.T) {
+	g, fam := gen.Havet()
+	// α = 3, |P| = 8: bound ⌈8/3⌉ = 3.
+	if got := LowerBoundByIndependence(g, fam); got != 3 {
+		t.Fatalf("bound = %d, want 3", got)
+	}
+	if got := LowerBoundByIndependence(g, nil); got != 0 {
+		t.Fatalf("empty bound = %d", got)
+	}
+	rep := fam.Replicate(3)
+	if got := LowerBoundByIndependence(g, rep); got != 8 {
+		t.Fatalf("replicated bound = %d, want 8", got)
+	}
+}
+
+func TestPiLowerBoundsColors(t *testing.T) {
+	g, fam := chain()
+	if err := PiLowerBoundsColors(g, fam, []int{0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// An improper coloring is rejected before the bound check.
+	if err := PiLowerBoundsColors(g, fam, []int{0, 0, 0}); err == nil {
+		t.Fatal("improper coloring accepted")
+	}
+}

@@ -1,0 +1,348 @@
+package conflict
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ValidateColoring checks that colors is a proper coloring of g: one
+// non-negative color per vertex, adjacent vertices differently colored.
+func (g *Graph) ValidateColoring(colors []int) error {
+	if len(colors) != g.n {
+		return fmt.Errorf("conflict: %d colors for %d vertices", len(colors), g.n)
+	}
+	for v, c := range colors {
+		if c < 0 {
+			return fmt.Errorf("conflict: vertex %d uncolored (color %d)", v, c)
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.rows[u].get(v) && colors[u] == colors[v] {
+				return fmt.Errorf("conflict: adjacent vertices %d and %d share color %d", u, v, colors[u])
+			}
+		}
+	}
+	return nil
+}
+
+// CountColors returns the number of distinct colors in a coloring.
+func CountColors(colors []int) int {
+	seen := make(map[int]bool, len(colors))
+	for _, c := range colors {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// GreedyColoring colors the vertices first-fit in the given order (the
+// identity order when order is nil) and returns the color classes as a
+// slice parallel to the vertices.
+func (g *Graph) GreedyColoring(order []int) []int {
+	if order == nil {
+		order = make([]int, g.n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	colors := make([]int, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	used := make([]bool, g.n+1)
+	for _, v := range order {
+		for i := range used {
+			used[i] = false
+		}
+		for _, u := range g.Neighbors(v) {
+			if colors[u] >= 0 {
+				used[colors[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+	}
+	return colors
+}
+
+// DSATURColoring runs the DSATUR heuristic: repeatedly color the vertex
+// with the largest color-saturation (ties: largest degree, then smallest
+// id) with the smallest feasible color.
+func (g *Graph) DSATURColoring() []int {
+	colors := make([]int, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	satRows := make([]row, g.n) // bit c set = neighbor colored c
+	satCount := make([]int, g.n)
+	for i := range satRows {
+		satRows[i] = newRow(g.n + 1)
+	}
+	for done := 0; done < g.n; done++ {
+		best, bestSat, bestDeg := -1, -1, -1
+		for v := 0; v < g.n; v++ {
+			if colors[v] >= 0 {
+				continue
+			}
+			if satCount[v] > bestSat || (satCount[v] == bestSat && g.deg[v] > bestDeg) {
+				best, bestSat, bestDeg = v, satCount[v], g.deg[v]
+			}
+		}
+		c := 0
+		for satRows[best].get(c) {
+			c++
+		}
+		colors[best] = c
+		for _, u := range g.Neighbors(best) {
+			if colors[u] < 0 && !satRows[u].get(c) {
+				satRows[u].set(c)
+				satCount[u]++
+			}
+		}
+	}
+	return colors
+}
+
+// MaxClique returns a maximum clique of g (exact, branch-and-bound with a
+// greedy-coloring upper bound in the style of Tomita's MCQ). Intended for
+// the instance sizes of the experiments (hundreds of vertices when sparse).
+func (g *Graph) MaxClique() []int {
+	if g.n == 0 {
+		return nil
+	}
+	// Order vertices by decreasing degree for better early bounds.
+	order := make([]int, g.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return g.deg[order[i]] > g.deg[order[j]] })
+
+	best := []int{order[0]}
+	var cur []int
+
+	var expand func(cand []int)
+	expand = func(cand []int) {
+		if len(cand) == 0 {
+			if len(cur) > len(best) {
+				best = append(best[:0:0], cur...)
+			}
+			return
+		}
+		// Greedy coloring of cand gives an upper bound: a clique can take
+		// at most one vertex per color class.
+		colorOf := make(map[int]int, len(cand))
+		numColors := 0
+		for _, v := range cand {
+			used := map[int]bool{}
+			for _, u := range cand {
+				if u == v {
+					break
+				}
+				if g.rows[v].get(u) {
+					used[colorOf[u]] = true
+				}
+			}
+			c := 0
+			for used[c] {
+				c++
+			}
+			colorOf[v] = c
+			if c+1 > numColors {
+				numColors = c + 1
+			}
+		}
+		// Visit candidates in decreasing color so pruning kicks in early.
+		sorted := append([]int(nil), cand...)
+		sort.Slice(sorted, func(i, j int) bool { return colorOf[sorted[i]] > colorOf[sorted[j]] })
+		for i, v := range sorted {
+			// Upper bound: remaining candidates can add at most
+			// colorOf[v]+1 vertices.
+			if len(cur)+colorOf[v]+1 <= len(best) {
+				return
+			}
+			var next []int
+			for _, u := range sorted[i+1:] {
+				if g.rows[v].get(u) {
+					next = append(next, u)
+				}
+			}
+			cur = append(cur, v)
+			expand(next)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	expand(order)
+	sort.Ints(best)
+	return best
+}
+
+// CliqueNumber returns ω(g).
+func (g *Graph) CliqueNumber() int { return len(g.MaxClique()) }
+
+// IndependenceNumber returns α(g) = ω(complement).
+func (g *Graph) IndependenceNumber() int { return g.Complement().CliqueNumber() }
+
+// ChromaticNumber computes χ(g) exactly by iterative-deepening
+// branch-and-bound: it starts from the clique lower bound and the DSATUR
+// upper bound and searches for a k-coloring for each k in between.
+// Exponential in the worst case; intended for experiment-scale graphs.
+func (g *Graph) ChromaticNumber() int {
+	colors, _ := g.OptimalColoring()
+	return CountColors(colors)
+}
+
+// OptimalColoring returns a coloring with exactly χ(g) colors.
+func (g *Graph) OptimalColoring() ([]int, error) {
+	if g.n == 0 {
+		return nil, nil
+	}
+	lower := g.CliqueNumber()
+	upperColors := g.DSATURColoring()
+	upper := CountColors(upperColors)
+	if lower == upper {
+		return upperColors, nil
+	}
+	for k := lower; k < upper; k++ {
+		if colors, ok := g.kColoring(k); ok {
+			return colors, nil
+		}
+	}
+	return upperColors, nil
+}
+
+// CompleteColoring extends a partial coloring (-1 marks uncolored
+// vertices, other entries are fixed) to a proper coloring with colors in
+// [0, k), using DSATUR-ordered backtracking with a node cap. It returns
+// the completed coloring, or ok=false when none was found within the cap
+// (which does not prove infeasibility).
+func (g *Graph) CompleteColoring(partial []int, k int) ([]int, bool) {
+	if len(partial) != g.n {
+		return nil, false
+	}
+	colors := append([]int(nil), partial...)
+	uncolored := 0
+	for v, c := range colors {
+		if c >= k {
+			return nil, false // fixed color out of palette
+		}
+		if c < 0 {
+			colors[v] = -1
+			uncolored++
+		} else {
+			for _, u := range g.Neighbors(v) {
+				if colors[u] == colors[v] && u != v && partial[u] >= 0 {
+					return nil, false // fixed part already improper
+				}
+			}
+		}
+	}
+	var nodes int
+	const nodeCap = 2000000
+	var assign func(left int) bool
+	assign = func(left int) bool {
+		if left == 0 {
+			return true
+		}
+		if nodes++; nodes > nodeCap {
+			return false
+		}
+		// DSATUR MRV: most saturated uncolored vertex, ties by degree.
+		best, bestSat, bestDeg := -1, -1, -1
+		var bestUsed row
+		for v := 0; v < g.n; v++ {
+			if colors[v] >= 0 {
+				continue
+			}
+			used := newRow(k)
+			sat := 0
+			for _, u := range g.Neighbors(v) {
+				if c := colors[u]; c >= 0 && !used.get(c) {
+					used.set(c)
+					sat++
+				}
+			}
+			if sat > bestSat || (sat == bestSat && g.deg[v] > bestDeg) {
+				best, bestSat, bestDeg, bestUsed = v, sat, g.deg[v], used
+			}
+		}
+		if bestSat >= k {
+			return false // saturated vertex has no color left
+		}
+		for c := 0; c < k; c++ {
+			if bestUsed.get(c) {
+				continue
+			}
+			colors[best] = c
+			if assign(left - 1) {
+				return true
+			}
+			colors[best] = -1
+		}
+		return false
+	}
+	if !assign(uncolored) {
+		return nil, false
+	}
+	return colors, true
+}
+
+// kColoring searches for a proper coloring with at most k colors using
+// DSATUR-ordered backtracking with symmetry breaking (a vertex may use at
+// most one brand-new color).
+func (g *Graph) kColoring(k int) ([]int, bool) {
+	colors := make([]int, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var assign func(done, maxUsed int) bool
+	assign = func(done, maxUsed int) bool {
+		if done == g.n {
+			return true
+		}
+		// DSATUR choice: most saturated uncolored vertex.
+		best, bestSat, bestDeg := -1, -1, -1
+		var bestUsed row
+		for v := 0; v < g.n; v++ {
+			if colors[v] >= 0 {
+				continue
+			}
+			used := newRow(k)
+			sat := 0
+			for _, u := range g.Neighbors(v) {
+				if colors[u] >= 0 && !used.get(colors[u]) {
+					used.set(colors[u])
+					sat++
+				}
+			}
+			if sat > bestSat || (sat == bestSat && g.deg[v] > bestDeg) {
+				best, bestSat, bestDeg, bestUsed = v, sat, g.deg[v], used
+			}
+		}
+		limit := maxUsed + 1 // symmetry breaking: at most one new color
+		if limit > k {
+			limit = k
+		}
+		for c := 0; c < limit; c++ {
+			if bestUsed.get(c) {
+				continue
+			}
+			colors[best] = c
+			nextMax := maxUsed
+			if c == maxUsed {
+				nextMax++
+			}
+			if assign(done+1, nextMax) {
+				return true
+			}
+			colors[best] = -1
+		}
+		return false
+	}
+	if assign(0, 0) {
+		return colors, true
+	}
+	return nil, false
+}

@@ -1,0 +1,124 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompleteColoringFromScratch(t *testing.T) {
+	g := cycleGraph(5)
+	partial := []int{-1, -1, -1, -1, -1}
+	colors, ok := g.CompleteColoring(partial, 3)
+	if !ok {
+		t.Fatal("C5 is 3-colorable")
+	}
+	if err := g.ValidateColoring(colors); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.CompleteColoring(partial, 2); ok {
+		t.Fatal("C5 is not 2-colorable")
+	}
+}
+
+func TestCompleteColoringRespectsFixed(t *testing.T) {
+	g := cycleGraph(4)
+	// Opposite vertices fixed to the SAME color: completable at k=2.
+	partial := []int{0, -1, 0, -1}
+	colors, ok := g.CompleteColoring(partial, 2)
+	if !ok {
+		t.Fatal("completion exists")
+	}
+	if colors[0] != 0 || colors[2] != 0 {
+		t.Fatalf("fixed colors changed: %v", colors)
+	}
+	if err := g.ValidateColoring(colors); err != nil {
+		t.Fatal(err)
+	}
+	// Opposite vertices fixed to DIFFERENT colors leave no color for
+	// their common neighbours at k=2: must fail.
+	partial = []int{0, -1, 1, -1}
+	if _, ok := g.CompleteColoring(partial, 2); ok {
+		t.Fatal("infeasible completion accepted")
+	}
+	// The same fixed part completes at k=3.
+	if colors, ok := g.CompleteColoring(partial, 3); !ok || g.ValidateColoring(colors) != nil {
+		t.Fatal("k=3 completion should exist")
+	}
+	// Adjacent same-colored fixed vertices are rejected outright.
+	partial = []int{0, 0, -1, -1}
+	if _, ok := g.CompleteColoring(partial, 3); ok {
+		t.Fatal("improper fixed part accepted")
+	}
+}
+
+func TestCompleteColoringBadInputs(t *testing.T) {
+	g := cycleGraph(3)
+	if _, ok := g.CompleteColoring([]int{0, -1}, 3); ok {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, ok := g.CompleteColoring([]int{5, -1, -1}, 3); ok {
+		t.Fatal("fixed color outside palette accepted")
+	}
+}
+
+func TestCompleteColoringNothingToDo(t *testing.T) {
+	g := cycleGraph(3)
+	partial := []int{0, 1, 2}
+	colors, ok := g.CompleteColoring(partial, 3)
+	if !ok {
+		t.Fatal("already-complete coloring rejected")
+	}
+	for i := range partial {
+		if colors[i] != partial[i] {
+			t.Fatal("complete coloring was altered")
+		}
+	}
+}
+
+// Property: completing a random partial proper coloring with k = χ always
+// keeps the fixed part and yields a proper coloring whenever it reports ok;
+// and with k = χ and an empty fixed part it always reports ok.
+func TestCompleteColoringProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(3+rng.Intn(10), rng.Float64(), rng)
+		chi := g.ChromaticNumber()
+		// From scratch at k = χ must succeed.
+		blank := make([]int, g.N())
+		for i := range blank {
+			blank[i] = -1
+		}
+		colors, ok := g.CompleteColoring(blank, chi)
+		if !ok || g.ValidateColoring(colors) != nil || CountColors(colors) > chi {
+			return false
+		}
+		// Fix a random subset of an optimal coloring; completion must
+		// succeed and respect it.
+		opt, err := g.OptimalColoring()
+		if err != nil {
+			return false
+		}
+		partial := make([]int, g.N())
+		for v := range partial {
+			if rng.Intn(2) == 0 {
+				partial[v] = opt[v]
+			} else {
+				partial[v] = -1
+			}
+		}
+		colors, ok = g.CompleteColoring(partial, chi)
+		if !ok {
+			return false
+		}
+		for v := range partial {
+			if partial[v] >= 0 && colors[v] != partial[v] {
+				return false
+			}
+		}
+		return g.ValidateColoring(colors) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

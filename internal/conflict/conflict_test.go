@@ -1,0 +1,411 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+)
+
+// cycleGraph returns C_n.
+func cycleGraph(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(i, (i+1)%n); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// completeGraph returns K_n.
+func completeGraph(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.AddEdge(i, j); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+func randomGraph(n int, p float64, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				if err := g.AddEdge(i, j); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge not symmetric")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(0, 0) {
+		t.Fatal("phantom edge")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatal("degree wrong")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatal("NumEdges wrong")
+	}
+	// Idempotent re-insertion.
+	if err := g.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || g.Degree(0) != 1 {
+		t.Fatal("re-insertion changed the graph")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := NewGraph(2)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 5); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	ns := g.Neighbors(2)
+	if len(ns) != 2 || ns[0] != 0 || ns[1] != 3 {
+		t.Fatalf("Neighbors = %v", ns)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	g := cycleGraph(5)
+	c := g.Complement()
+	if c.NumEdges() != 5*4/2-5 {
+		t.Fatalf("complement edges = %d", c.NumEdges())
+	}
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			if g.HasEdge(u, v) == c.HasEdge(u, v) {
+				t.Fatalf("complement wrong at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestFromFamilyFigure3(t *testing.T) {
+	// Figure 3: conflict graph of the 5 dipaths is C5.
+	g := digraph.New(5) // a b c d e
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	g.MustAddArc(2, 3)
+	g.MustAddArc(3, 4)
+	g.MustAddArc(1, 3)
+	f := dipath.Family{
+		dipath.MustFromVertices(g, 0, 1, 2), // a b c
+		dipath.MustFromVertices(g, 1, 2, 3), // b c d
+		dipath.MustFromVertices(g, 2, 3, 4), // c d e
+		dipath.MustFromVertices(g, 1, 3, 4), // b d e  (via chord)
+		dipath.MustFromVertices(g, 0, 1, 3), // a b d  (via chord)
+	}
+	cg := FromFamily(g, f)
+	if !cg.IsCycle() {
+		t.Fatalf("Figure 3 conflict graph is not a cycle: %d edges", cg.NumEdges())
+	}
+	if cg.N() != 5 || cg.NumEdges() != 5 {
+		t.Fatalf("conflict graph n=%d m=%d, want 5,5", cg.N(), cg.NumEdges())
+	}
+	if chi := cg.ChromaticNumber(); chi != 3 {
+		t.Fatalf("χ(C5) = %d, want 3", chi)
+	}
+	if om := cg.CliqueNumber(); om != 2 {
+		t.Fatalf("ω(C5) = %d, want 2", om)
+	}
+}
+
+func TestIsCycleAndIsComplete(t *testing.T) {
+	if !cycleGraph(5).IsCycle() || !cycleGraph(4).IsCycle() {
+		t.Fatal("C_n not recognized")
+	}
+	if completeGraph(4).IsCycle() {
+		t.Fatal("K4 recognized as a cycle")
+	}
+	if cycleGraph(3).IsComplete() != true { // C3 == K3
+		t.Fatal("C3 is complete")
+	}
+	if !completeGraph(5).IsComplete() || completeGraph(5).IsCycle() {
+		t.Fatal("K5 misclassified")
+	}
+	if NewGraph(2).IsCycle() {
+		t.Fatal("tiny graph is not a cycle")
+	}
+	// Two disjoint triangles: 2-regular but disconnected.
+	two := NewGraph(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+		two.AddEdge(e[0], e[1])
+	}
+	if two.IsCycle() {
+		t.Fatal("disjoint triangles recognized as one cycle")
+	}
+}
+
+func TestGreedyColoring(t *testing.T) {
+	g := cycleGraph(4)
+	colors := g.GreedyColoring(nil)
+	if err := g.ValidateColoring(colors); err != nil {
+		t.Fatal(err)
+	}
+	if CountColors(colors) != 2 {
+		t.Fatalf("greedy on C4 used %d colors", CountColors(colors))
+	}
+	// Custom order.
+	colors = g.GreedyColoring([]int{3, 2, 1, 0})
+	if err := g.ValidateColoring(colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDSATURColoring(t *testing.T) {
+	for _, n := range []int{3, 5, 7, 9} {
+		g := cycleGraph(n)
+		colors := g.DSATURColoring()
+		if err := g.ValidateColoring(colors); err != nil {
+			t.Fatal(err)
+		}
+		if CountColors(colors) != 3 {
+			t.Fatalf("DSATUR on odd C%d used %d colors", n, CountColors(colors))
+		}
+	}
+	g := completeGraph(6)
+	if CountColors(g.DSATURColoring()) != 6 {
+		t.Fatal("DSATUR on K6 must use 6 colors")
+	}
+}
+
+func TestValidateColoring(t *testing.T) {
+	g := cycleGraph(3)
+	if err := g.ValidateColoring([]int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ValidateColoring([]int{0, 0, 1}); err == nil {
+		t.Fatal("improper coloring validated")
+	}
+	if err := g.ValidateColoring([]int{0, 1}); err == nil {
+		t.Fatal("short coloring validated")
+	}
+	if err := g.ValidateColoring([]int{0, 1, -1}); err == nil {
+		t.Fatal("uncolored vertex validated")
+	}
+}
+
+func TestMaxCliqueKnownGraphs(t *testing.T) {
+	if got := completeGraph(6).CliqueNumber(); got != 6 {
+		t.Fatalf("ω(K6) = %d", got)
+	}
+	if got := cycleGraph(6).CliqueNumber(); got != 2 {
+		t.Fatalf("ω(C6) = %d", got)
+	}
+	if got := cycleGraph(3).CliqueNumber(); got != 3 {
+		t.Fatalf("ω(C3) = %d", got)
+	}
+	if got := NewGraph(4).CliqueNumber(); got != 1 {
+		t.Fatalf("ω(empty) = %d", got)
+	}
+	if NewGraph(0).MaxClique() != nil {
+		t.Fatal("ω of null graph should be empty")
+	}
+	// Clique must actually be a clique.
+	g := randomGraph(20, 0.5, rand.New(rand.NewSource(3)))
+	clique := g.MaxClique()
+	for i := 0; i < len(clique); i++ {
+		for j := i + 1; j < len(clique); j++ {
+			if !g.HasEdge(clique[i], clique[j]) {
+				t.Fatal("MaxClique returned a non-clique")
+			}
+		}
+	}
+}
+
+func TestIndependenceNumber(t *testing.T) {
+	if got := cycleGraph(8).IndependenceNumber(); got != 4 {
+		t.Fatalf("α(C8) = %d, want 4", got)
+	}
+	if got := completeGraph(5).IndependenceNumber(); got != 1 {
+		t.Fatalf("α(K5) = %d, want 1", got)
+	}
+}
+
+func TestChromaticNumberKnownGraphs(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+		name string
+	}{
+		{cycleGraph(4), 2, "C4"},
+		{cycleGraph(5), 3, "C5"},
+		{cycleGraph(7), 3, "C7"},
+		{completeGraph(5), 5, "K5"},
+		{NewGraph(4), 1, "empty4"},
+	}
+	for _, c := range cases {
+		if got := c.g.ChromaticNumber(); got != c.want {
+			t.Fatalf("χ(%s) = %d, want %d", c.name, got, c.want)
+		}
+		colors, err := c.g.OptimalColoring()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.g.ValidateColoring(colors); err != nil {
+			t.Fatalf("%s: optimal coloring invalid: %v", c.name, err)
+		}
+		if CountColors(colors) != c.want {
+			t.Fatalf("%s: optimal coloring uses %d colors", c.name, CountColors(colors))
+		}
+	}
+	if NewGraph(0).ChromaticNumber() != 0 {
+		t.Fatal("χ(null) != 0")
+	}
+}
+
+// Petersen graph: χ=3, ω=2, α=4 — a solid stress case for the exact solvers.
+func petersen() *Graph {
+	g := NewGraph(10)
+	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	spokes := [][2]int{{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}}
+	for _, es := range [][][2]int{outer, inner, spokes} {
+		for _, e := range es {
+			g.AddEdge(e[0], e[1])
+		}
+	}
+	return g
+}
+
+func TestPetersen(t *testing.T) {
+	g := petersen()
+	if got := g.ChromaticNumber(); got != 3 {
+		t.Fatalf("χ(Petersen) = %d, want 3", got)
+	}
+	if got := g.CliqueNumber(); got != 2 {
+		t.Fatalf("ω(Petersen) = %d, want 2", got)
+	}
+	if got := g.IndependenceNumber(); got != 4 {
+		t.Fatalf("α(Petersen) = %d, want 4", got)
+	}
+}
+
+func TestC8WithAntipodalChords(t *testing.T) {
+	// The conflict graph of the Havet example (Figure 9): C8 plus chords
+	// between antipodal vertices. α = 3, χ = 3.
+	g := cycleGraph(8)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+4)
+	}
+	if got := g.IndependenceNumber(); got != 3 {
+		t.Fatalf("α = %d, want 3", got)
+	}
+	if got := g.ChromaticNumber(); got != 3 {
+		t.Fatalf("χ = %d, want 3", got)
+	}
+	if got := g.CliqueNumber(); got != 2 {
+		t.Fatalf("ω = %d, want 2", got)
+	}
+}
+
+func TestFindK23(t *testing.T) {
+	// Build an explicit K_{2,3}.
+	g := NewGraph(5)
+	for _, u := range []int{0, 1} {
+		for _, w := range []int{2, 3, 4} {
+			g.AddEdge(u, w)
+		}
+	}
+	us, ws, ok := g.FindK23()
+	if !ok {
+		t.Fatal("K23 not found in K23")
+	}
+	for _, u := range us {
+		for _, w := range ws {
+			if !g.HasEdge(u, w) {
+				t.Fatal("returned witness is not a K23")
+			}
+		}
+	}
+	if _, _, ok := cycleGraph(8).FindK23(); ok {
+		t.Fatal("K23 found in C8")
+	}
+	// Complete graphs contain no induced K23 (every pair is adjacent).
+	if _, _, ok := completeGraph(5).FindK23(); ok {
+		t.Fatal("induced K23 found in K5")
+	}
+	// K_{2,3} plus an edge on the 2-side is no longer induced K_{2,3}
+	// through that pair, and there is no other witness.
+	g2 := NewGraph(5)
+	for _, u := range []int{0, 1} {
+		for _, w := range []int{2, 3, 4} {
+			g2.AddEdge(u, w)
+		}
+	}
+	g2.AddEdge(0, 1)
+	if _, _, ok := g2.FindK23(); ok {
+		t.Fatal("non-induced K23 reported")
+	}
+	// K_{2,4} contains induced K_{2,3}.
+	g3 := NewGraph(6)
+	for _, u := range []int{0, 1} {
+		for _, w := range []int{2, 3, 4, 5} {
+			g3.AddEdge(u, w)
+		}
+	}
+	if _, _, ok := g3.FindK23(); !ok {
+		t.Fatal("induced K23 not found in K24")
+	}
+}
+
+// Property: DSATUR and greedy always produce valid colorings, and the
+// exact chromatic number is sandwiched by clique and DSATUR bounds.
+func TestColoringProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(2+rng.Intn(14), rng.Float64(), rng)
+		greedy := g.GreedyColoring(nil)
+		dsat := g.DSATURColoring()
+		if g.ValidateColoring(greedy) != nil || g.ValidateColoring(dsat) != nil {
+			return false
+		}
+		chi := g.ChromaticNumber()
+		om := g.CliqueNumber()
+		if chi < om {
+			return false
+		}
+		if chi > CountColors(dsat) {
+			return false
+		}
+		opt, err := g.OptimalColoring()
+		if err != nil || g.ValidateColoring(opt) != nil {
+			return false
+		}
+		return CountColors(opt) == chi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package core implements the two constructive results of Bermond &
+// Cosnard, "Minimum number of wavelengths equals load in a DAG without
+// internal cycle" (IPDPS 2007):
+//
+//   - Theorem 1: on a DAG without internal cycle, every family of dipaths
+//     can be colored with exactly π(G,P) wavelengths
+//     (ColorNoInternalCycle);
+//   - Theorem 6: on an UPP-DAG with exactly one internal cycle, every
+//     family can be colored with at most ⌈4π/3⌉ wavelengths
+//     (ColorOneInternalCycleUPP).
+//
+// ColorDAG dispatches between them and falls back to the DSATUR heuristic
+// on DAGs outside both hypotheses (where, by the paper's Figure 1, no
+// function of π can bound w in general).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"wavedag/internal/conflict"
+	"wavedag/internal/cycles"
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+	"wavedag/internal/load"
+	"wavedag/internal/upp"
+)
+
+// ErrInternalCycle is returned by ColorNoInternalCycle when the input DAG
+// contains an internal cycle, violating Theorem 1's hypothesis.
+var ErrInternalCycle = errors.New("core: DAG contains an internal cycle")
+
+// ErrNotUPP is returned by ColorOneInternalCycleUPP when the input digraph
+// is not an UPP-DAG.
+var ErrNotUPP = errors.New("core: digraph is not an UPP-DAG")
+
+// Result is a wavelength assignment for a dipath family.
+type Result struct {
+	// Colors[i] is the wavelength of family[i]; wavelengths are dense
+	// integers starting at 0.
+	Colors []int
+	// NumColors is the number of distinct wavelengths used.
+	NumColors int
+	// Pi is the load π(G,P) of the instance.
+	Pi int
+}
+
+func newResult(colors []int, pi int) *Result {
+	return &Result{Colors: colors, NumColors: conflict.CountColors(colors), Pi: pi}
+}
+
+// Method identifies which algorithm produced a coloring.
+type Method string
+
+// Methods reported by ColorDAG.
+const (
+	MethodTheorem1 Method = "theorem1" // exact, w = π
+	MethodTheorem6 Method = "theorem6" // w ≤ ⌈4π/3⌉
+	MethodDSATUR   Method = "dsatur"   // heuristic fallback
+)
+
+// ColorDAG colors fam on the DAG g with the strongest applicable result:
+// Theorem 1 when g has no internal cycle, Theorem 6 when g is UPP with
+// exactly one internal cycle, DSATUR otherwise.
+func ColorDAG(g *digraph.Digraph, fam dipath.Family) (*Result, Method, error) {
+	if err := fam.Validate(g); err != nil {
+		return nil, "", err
+	}
+	count := cycles.IndependentCycleCount(g)
+	if count == 0 {
+		res, err := ColorNoInternalCycle(g, fam)
+		return res, MethodTheorem1, err
+	}
+	if count == 1 {
+		if ok, _, _, err := upp.IsUPP(g); err == nil && ok {
+			res, err := ColorOneInternalCycleUPP(g, fam)
+			return res, MethodTheorem6, err
+		}
+	}
+	cg := conflict.FromFamily(g, fam)
+	colors := cg.DSATURColoring()
+	return newResult(colors, load.Pi(g, fam)), MethodDSATUR, nil
+}
+
+// Verify checks that res is a proper wavelength assignment for fam on g
+// (conflicting dipaths have different wavelengths).
+func Verify(g *digraph.Digraph, fam dipath.Family, res *Result) error {
+	if res == nil {
+		return fmt.Errorf("core: nil result")
+	}
+	if len(res.Colors) != len(fam) {
+		return fmt.Errorf("core: %d colors for %d dipaths", len(res.Colors), len(fam))
+	}
+	cg := conflict.FromFamily(g, fam)
+	return cg.ValidateColoring(res.Colors)
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wavedag/internal/check"
+	"wavedag/internal/conflict"
+	"wavedag/internal/dipath"
+	"wavedag/internal/gen"
+	"wavedag/internal/load"
+	"wavedag/internal/upp"
+)
+
+// randomOneCycleWorkload builds a random dipath family on a random
+// one-internal-cycle UPP-DAG (the Theorem 2 gadget with random size) by
+// sampling routable pairs and replicating some of them.
+func randomOneCycleWorkload(seed int64) (*gen.Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	k := 2 + rng.Intn(5)
+	g, _, err := gen.InternalCycleGadget(k)
+	if err != nil {
+		return nil, err
+	}
+	router, err := upp.NewRouter(g)
+	if err != nil {
+		return nil, err
+	}
+	all := router.AllPairsFamily()
+	var fam dipath.Family
+	for _, p := range all {
+		if p.NumArcs() == 0 {
+			continue
+		}
+		reps := 0
+		switch rng.Intn(4) {
+		case 0:
+			reps = 0
+		case 1:
+			reps = 1
+		case 2:
+			reps = 2
+		case 3:
+			reps = 1 + rng.Intn(4)
+		}
+		for r := 0; r < reps; r++ {
+			fam = append(fam, p)
+		}
+	}
+	return &gen.Instance{G: g, F: fam}, nil
+}
+
+// Property: on random one-cycle UPP workloads, Theorem 6 always produces
+// a proper coloring within ⌈4π/3⌉, and never below the exact χ on small
+// instances.
+func TestTheorem6PropertyRandomWorkloads(t *testing.T) {
+	f := func(seed int64) bool {
+		inst, err := randomOneCycleWorkload(seed)
+		if err != nil {
+			return false
+		}
+		res, err := ColorOneInternalCycleUPP(inst.G, inst.F)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := check.WavelengthsWithinBound(inst.G, inst.F, res.Colors, 4, 3); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(inst.F) <= 24 && len(inst.F) > 0 {
+			cg := conflict.FromFamily(inst.G, inst.F)
+			if res.NumColors < cg.ChromaticNumber() {
+				t.Logf("seed %d: impossible %d < χ", seed, res.NumColors)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on random Havet workloads (random subfamilies with random
+// replication), Theorem 6 stays within bound and valid.
+func TestTheorem6PropertyHavetWorkloads(t *testing.T) {
+	g, base := gen.Havet()
+	router, err := upp.NewRouter(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := router.AllPairsFamily()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var fam dipath.Family
+		for _, p := range base {
+			for r := rng.Intn(4); r > 0; r-- {
+				fam = append(fam, p)
+			}
+		}
+		for _, p := range all {
+			if p.NumArcs() > 0 && rng.Intn(3) == 0 {
+				fam = append(fam, p)
+			}
+		}
+		res, err := ColorOneInternalCycleUPP(g, fam)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return check.WavelengthsWithinBound(g, fam, res.Colors, 4, 3) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: π ≤ w for every algorithm on every random instance (the
+// trivial direction, guarded across the whole dispatcher).
+func TestColorDAGPiLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomDAG(4+rng.Intn(20), rng.Intn(50), seed)
+		fam, err := gen.SubpathFamily(g, rng.Intn(25), seed+1)
+		if err != nil {
+			return false
+		}
+		res, _, err := ColorDAG(g, fam)
+		if err != nil {
+			return false
+		}
+		return check.PiLowerBoundsColors(g, fam, res.Colors) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Padding invariant: Theorem 6's answer is insensitive to pre-padding by
+// the caller — adding copies of the split arc's dipath to the input must
+// keep the output within the (possibly larger) bound and proper.
+func TestTheorem6PaddingInsensitive(t *testing.T) {
+	g, fam := gen.Havet()
+	// Arc b1->c1 is on the internal cycle.
+	withPad := fam.Clone()
+	withPad = append(withPad, dipath.MustFromVertices(g, 1, 2), dipath.MustFromVertices(g, 1, 2))
+	res, err := ColorOneInternalCycleUPP(g, withPad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.WavelengthsWithinBound(g, withPad, res.Colors, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if pi := load.Pi(g, withPad); pi != 4 {
+		t.Fatalf("π = %d, want 4", pi)
+	}
+}

@@ -1,0 +1,253 @@
+// Package cycles detects internal cycles of a DAG — the structural
+// obstruction identified by Bermond & Cosnard (IPDPS 2007).
+//
+// An oriented cycle of a DAG is a cycle of the underlying undirected
+// multigraph (it necessarily alternates direction, since directed cycles
+// are excluded). An internal cycle is an oriented cycle all of whose
+// vertices have in-degree > 0 and out-degree > 0 in G, i.e. the cycle
+// avoids every source and every sink of G.
+//
+// Detection reduces to acyclicity of an undirected graph: every internal
+// cycle lives inside the sub-digraph induced by the internal vertices
+// V' = {v : indeg(v) > 0 and outdeg(v) > 0}, and conversely any cycle of
+// the underlying undirected multigraph of G[V'] is internal. Hence
+//
+//   - G has an internal cycle  ⇔  underlying(G[V']) has a cycle;
+//   - the number of independent internal cycles is the cyclomatic number
+//     m' − n' + c' of underlying(G[V']).
+package cycles
+
+import (
+	"fmt"
+
+	"wavedag/internal/digraph"
+)
+
+// InternalVertices returns the vertices of g with positive in-degree and
+// positive out-degree, in increasing order.
+func InternalVertices(g *digraph.Digraph) []digraph.Vertex {
+	var vs []digraph.Vertex
+	for v := 0; v < g.NumVertices(); v++ {
+		u := digraph.Vertex(v)
+		if g.InDegree(u) > 0 && g.OutDegree(u) > 0 {
+			vs = append(vs, u)
+		}
+	}
+	return vs
+}
+
+// internalSubgraph returns the sub-digraph induced on internal vertices
+// plus the arc mapping back to g.
+func internalSubgraph(g *digraph.Digraph) (*digraph.Digraph, []digraph.Vertex, []digraph.ArcID) {
+	sub, n2o, a2o, err := g.InducedSubgraph(InternalVertices(g))
+	if err != nil {
+		// InternalVertices never yields duplicates or bad ids.
+		panic(fmt.Sprintf("cycles: induced subgraph failed: %v", err))
+	}
+	return sub, n2o, a2o
+}
+
+// HasInternalCycle reports whether the DAG g contains an internal cycle.
+func HasInternalCycle(g *digraph.Digraph) bool {
+	return IndependentCycleCount(g) > 0
+}
+
+// IndependentCycleCount returns the cyclomatic number (first Betti number)
+// of the underlying undirected multigraph of the internal sub-digraph:
+// the number of independent internal cycles. Theorem 6 of the paper
+// applies to UPP-DAGs whose count is exactly 1.
+func IndependentCycleCount(g *digraph.Digraph) int {
+	sub, _, _ := internalSubgraph(g)
+	n := sub.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	// Union-find to count components of the underlying multigraph.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	comps := n
+	for _, a := range sub.Arcs() {
+		ra, rb := find(int(a.Tail)), find(int(a.Head))
+		if ra != rb {
+			parent[ra] = rb
+			comps--
+		}
+	}
+	return sub.NumArcs() - n + comps
+}
+
+// Step is one arc of an oriented cycle, with its direction of traversal:
+// Forward means the arc is traversed from Tail to Head along the cycle
+// walk, reversed otherwise.
+type Step struct {
+	Arc     digraph.ArcID
+	Forward bool
+}
+
+// Cycle is an oriented cycle of g given as a closed walk of steps in the
+// underlying multigraph. Vertices(g) reconstructs the vertex sequence.
+type Cycle struct {
+	Steps []Step
+}
+
+// Vertices returns the closed vertex walk v0, v1, ..., vk = v0 of the
+// cycle in g (length len(Steps)+1, first equals last).
+func (c *Cycle) Vertices(g *digraph.Digraph) []digraph.Vertex {
+	if len(c.Steps) == 0 {
+		return nil
+	}
+	walk := make([]digraph.Vertex, 0, len(c.Steps)+1)
+	first := c.Steps[0]
+	var cur digraph.Vertex
+	if first.Forward {
+		cur = g.Arc(first.Arc).Tail
+	} else {
+		cur = g.Arc(first.Arc).Head
+	}
+	walk = append(walk, cur)
+	for _, s := range c.Steps {
+		a := g.Arc(s.Arc)
+		if s.Forward {
+			if a.Tail != cur {
+				panic("cycles: inconsistent cycle walk")
+			}
+			cur = a.Head
+		} else {
+			if a.Head != cur {
+				panic("cycles: inconsistent cycle walk")
+			}
+			cur = a.Tail
+		}
+		walk = append(walk, cur)
+	}
+	return walk
+}
+
+// ArcIDs returns the arcs of the cycle in walk order.
+func (c *Cycle) ArcIDs() []digraph.ArcID {
+	ids := make([]digraph.ArcID, len(c.Steps))
+	for i, s := range c.Steps {
+		ids[i] = s.Arc
+	}
+	return ids
+}
+
+// Validate checks that the cycle is a closed walk of g visiting every
+// vertex at most once, of length at least 2, and that every vertex on it
+// is internal in g.
+func (c *Cycle) Validate(g *digraph.Digraph) error {
+	if len(c.Steps) < 2 {
+		return fmt.Errorf("cycles: cycle must have at least 2 arcs, got %d", len(c.Steps))
+	}
+	walk := c.Vertices(g)
+	if walk[0] != walk[len(walk)-1] {
+		return fmt.Errorf("cycles: walk not closed: %v", walk)
+	}
+	seen := make(map[digraph.Vertex]bool)
+	for _, v := range walk[:len(walk)-1] {
+		if seen[v] {
+			return fmt.Errorf("cycles: vertex %d repeated on cycle", v)
+		}
+		seen[v] = true
+		if g.InDegree(v) == 0 || g.OutDegree(v) == 0 {
+			return fmt.Errorf("cycles: vertex %d on cycle is a source or sink", v)
+		}
+	}
+	seenArc := make(map[digraph.ArcID]bool)
+	for _, s := range c.Steps {
+		if seenArc[s.Arc] {
+			return fmt.Errorf("cycles: arc %d repeated on cycle", s.Arc)
+		}
+		seenArc[s.Arc] = true
+	}
+	return nil
+}
+
+// FindInternalCycle returns an internal cycle of g, or ok=false when none
+// exists. The cycle is found by a DFS of the underlying multigraph of the
+// internal sub-digraph; the returned steps reference arcs of g.
+func FindInternalCycle(g *digraph.Digraph) (*Cycle, bool) {
+	sub, _, a2o := internalSubgraph(g)
+	n := sub.NumVertices()
+	if n == 0 {
+		return nil, false
+	}
+	// Undirected incidence: for each vertex, (neighbor, local arc id, forward?).
+	type edge struct {
+		to      digraph.Vertex
+		arc     digraph.ArcID // arc id in sub
+		forward bool
+	}
+	adj := make([][]edge, n)
+	for _, a := range sub.Arcs() {
+		adj[a.Tail] = append(adj[a.Tail], edge{to: a.Head, arc: a.ID, forward: true})
+		adj[a.Head] = append(adj[a.Head], edge{to: a.Tail, arc: a.ID, forward: false})
+	}
+	// Iterative DFS, tracking the tree parent edge to detect back edges
+	// (parallel arcs count as cycles of length 2 and are caught because we
+	// compare arc ids, not endpoints).
+	state := make([]int, n) // 0 unvisited, 1 on stack, 2 done
+	parentEdge := make([]edge, n)
+	parentOf := make([]digraph.Vertex, n)
+	for start := 0; start < n; start++ {
+		if state[start] != 0 {
+			continue
+		}
+		type frame struct {
+			v    digraph.Vertex
+			next int
+		}
+		stack := []frame{{digraph.Vertex(start), 0}}
+		state[start] = 1
+		parentOf[start] = -1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next >= len(adj[f.v]) {
+				state[f.v] = 2
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			e := adj[f.v][f.next]
+			f.next++
+			// Skip the tree edge to the parent (same arc, not merely the
+			// same endpoint — parallel arcs must still be seen).
+			if parentOf[f.v] >= 0 && e.arc == parentEdge[f.v].arc {
+				continue
+			}
+			switch state[e.to] {
+			case 0:
+				state[e.to] = 1
+				parentOf[e.to] = f.v
+				parentEdge[e.to] = e
+				stack = append(stack, frame{e.to, 0})
+			case 1:
+				// Back edge f.v -> e.to closes a cycle: the closed walk is
+				// the tree path e.to -> ... -> f.v followed by the back
+				// edge. Tree edges were recorded as traversed parent ->
+				// child, which is exactly the direction of the downward
+				// walk, so their Forward flags carry over unchanged.
+				var down []Step
+				for v := f.v; v != e.to; v = parentOf[v] {
+					pe := parentEdge[v]
+					down = append(down, Step{Arc: a2o[pe.arc], Forward: pe.forward})
+				}
+				for i, j := 0, len(down)-1; i < j; i, j = i+1, j-1 {
+					down[i], down[j] = down[j], down[i]
+				}
+				steps := append(down, Step{Arc: a2o[e.arc], Forward: e.forward})
+				return &Cycle{Steps: steps}, true
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,257 @@
+package cycles
+
+import (
+	"testing"
+
+	"wavedag/internal/digraph"
+)
+
+// fig3 builds the DAG of Figure 3 of the paper: vertices a,b,c,d,e with
+// arcs a->b, b->c, c->d, d->e and the chord b->d. The triangle b,c,d is an
+// internal cycle (b has predecessor a, d has successor e).
+func fig3() *digraph.Digraph {
+	g := digraph.New(5) // 0=a 1=b 2=c 3=d 4=e
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	g.MustAddArc(2, 3)
+	g.MustAddArc(3, 4)
+	g.MustAddArc(1, 3)
+	return g
+}
+
+// diamond: 0->1, 0->2, 1->3, 2->3. Its only cycle passes through the
+// source 0 and the sink 3, so it is NOT internal.
+func diamond() *digraph.Digraph {
+	g := digraph.New(4)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(0, 2)
+	g.MustAddArc(1, 3)
+	g.MustAddArc(2, 3)
+	return g
+}
+
+func TestInternalVertices(t *testing.T) {
+	g := fig3()
+	got := InternalVertices(g)
+	want := []digraph.Vertex{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("internal vertices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("internal vertices = %v, want %v", got, want)
+		}
+	}
+	if len(InternalVertices(diamond())) != 2 {
+		t.Fatalf("diamond internal vertices = %v", InternalVertices(diamond()))
+	}
+}
+
+func TestHasInternalCycleFig3(t *testing.T) {
+	if !HasInternalCycle(fig3()) {
+		t.Fatal("Figure 3 graph must have an internal cycle")
+	}
+	if IndependentCycleCount(fig3()) != 1 {
+		t.Fatalf("Figure 3 cycle count = %d, want 1", IndependentCycleCount(fig3()))
+	}
+}
+
+func TestDiamondHasNoInternalCycle(t *testing.T) {
+	if HasInternalCycle(diamond()) {
+		t.Fatal("diamond cycle passes through source and sink; not internal")
+	}
+	if IndependentCycleCount(diamond()) != 0 {
+		t.Fatal("diamond count must be 0")
+	}
+	if _, ok := FindInternalCycle(diamond()); ok {
+		t.Fatal("FindInternalCycle found a cycle in the diamond")
+	}
+}
+
+func TestPathGraphNoInternalCycle(t *testing.T) {
+	g := digraph.New(4)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	g.MustAddArc(2, 3)
+	if HasInternalCycle(g) {
+		t.Fatal("path graph has no cycle at all")
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	if HasInternalCycle(digraph.New(0)) {
+		t.Fatal("empty graph")
+	}
+	if HasInternalCycle(digraph.New(5)) {
+		t.Fatal("arc-less graph")
+	}
+	g := digraph.New(2)
+	g.MustAddArc(0, 1)
+	if HasInternalCycle(g) {
+		t.Fatal("single arc")
+	}
+}
+
+func TestFindInternalCycleFig3(t *testing.T) {
+	g := fig3()
+	c, ok := FindInternalCycle(g)
+	if !ok {
+		t.Fatal("no cycle found in Figure 3 graph")
+	}
+	if err := c.Validate(g); err != nil {
+		t.Fatalf("cycle invalid: %v", err)
+	}
+	if len(c.Steps) != 3 {
+		t.Fatalf("cycle length = %d, want 3 (the b,c,d triangle)", len(c.Steps))
+	}
+	walk := c.Vertices(g)
+	if walk[0] != walk[len(walk)-1] {
+		t.Fatalf("walk not closed: %v", walk)
+	}
+	onCycle := map[digraph.Vertex]bool{}
+	for _, v := range walk[:len(walk)-1] {
+		onCycle[v] = true
+	}
+	if !onCycle[1] || !onCycle[2] || !onCycle[3] || onCycle[0] || onCycle[4] {
+		t.Fatalf("cycle vertices = %v, want {1,2,3}", walk)
+	}
+}
+
+// theorem2Cycle builds the internal cycle of Figure 5 with parameter k:
+// arcs b_i->c_i and b_i->c_{i-1 mod k}, plus a_i->b_i and c_i->d_i.
+func theorem2Cycle(k int) *digraph.Digraph {
+	g := digraph.New(4 * k) // a_i, b_i, c_i, d_i at offsets 0,k,2k,3k
+	a := func(i int) digraph.Vertex { return digraph.Vertex(i) }
+	b := func(i int) digraph.Vertex { return digraph.Vertex(k + i) }
+	c := func(i int) digraph.Vertex { return digraph.Vertex(2*k + i) }
+	d := func(i int) digraph.Vertex { return digraph.Vertex(3*k + i) }
+	for i := 0; i < k; i++ {
+		g.MustAddArc(a(i), b(i))
+		g.MustAddArc(b(i), c(i))
+		g.MustAddArc(b(i), c((i+k-1)%k))
+		g.MustAddArc(c(i), d(i))
+	}
+	return g
+}
+
+func TestTheorem2CycleDetection(t *testing.T) {
+	for k := 2; k <= 6; k++ {
+		g := theorem2Cycle(k)
+		if !HasInternalCycle(g) {
+			t.Fatalf("k=%d: no internal cycle detected", k)
+		}
+		if got := IndependentCycleCount(g); got != 1 {
+			t.Fatalf("k=%d: cycle count = %d, want 1", k, got)
+		}
+		c, ok := FindInternalCycle(g)
+		if !ok {
+			t.Fatalf("k=%d: FindInternalCycle failed", k)
+		}
+		if err := c.Validate(g); err != nil {
+			t.Fatalf("k=%d: invalid cycle: %v", k, err)
+		}
+		if len(c.Steps) != 2*k {
+			t.Fatalf("k=%d: cycle length %d, want %d", k, len(c.Steps), 2*k)
+		}
+	}
+}
+
+func TestMultipleIndependentCycles(t *testing.T) {
+	// Two disjoint Figure-3 gadgets glued into one graph.
+	g := digraph.New(10)
+	add := func(off int) {
+		g.MustAddArc(digraph.Vertex(off+0), digraph.Vertex(off+1))
+		g.MustAddArc(digraph.Vertex(off+1), digraph.Vertex(off+2))
+		g.MustAddArc(digraph.Vertex(off+2), digraph.Vertex(off+3))
+		g.MustAddArc(digraph.Vertex(off+3), digraph.Vertex(off+4))
+		g.MustAddArc(digraph.Vertex(off+1), digraph.Vertex(off+3))
+	}
+	add(0)
+	add(5)
+	if got := IndependentCycleCount(g); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	c, ok := FindInternalCycle(g)
+	if !ok {
+		t.Fatal("no cycle found")
+	}
+	if err := c.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A K4-like DAG where every cycle is internal after padding each vertex
+// with a predecessor and successor.
+func TestDenseInternalCycles(t *testing.T) {
+	// Core: 0->1, 0->2, 1->3, 2->3, 0->3 gives cyclomatic number 2 once all
+	// of 0..3 are internal; add feeder arcs s->0 and 3->t plus arcs making
+	// 1,2 internal (they already are: in from 0, out to 3).
+	g := digraph.New(6) // 4=s, 5=t
+	g.MustAddArc(4, 0)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(0, 2)
+	g.MustAddArc(1, 3)
+	g.MustAddArc(2, 3)
+	g.MustAddArc(0, 3)
+	g.MustAddArc(3, 5)
+	if got := IndependentCycleCount(g); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	if !HasInternalCycle(g) {
+		t.Fatal("cycles not detected")
+	}
+}
+
+func TestParallelArcsFormInternalCycle(t *testing.T) {
+	// Two parallel arcs between internal vertices form a cycle of the
+	// underlying multigraph.
+	g := digraph.New(4)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	g.MustAddArc(1, 2)
+	g.MustAddArc(2, 3)
+	if !HasInternalCycle(g) {
+		t.Fatal("parallel-arc cycle missed")
+	}
+	c, ok := FindInternalCycle(g)
+	if !ok {
+		t.Fatal("FindInternalCycle missed parallel-arc cycle")
+	}
+	if len(c.Steps) != 2 {
+		t.Fatalf("cycle length = %d, want 2", len(c.Steps))
+	}
+	if err := c.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleValidateRejectsBadCycles(t *testing.T) {
+	g := fig3()
+	if err := (&Cycle{}).Validate(g); err == nil {
+		t.Fatal("empty cycle validated")
+	}
+	// A single-arc "cycle" is not closed.
+	one := &Cycle{Steps: []Step{{Arc: 0, Forward: true}}}
+	if err := one.Validate(g); err == nil {
+		t.Fatal("single-step cycle validated")
+	}
+	// A walk through the source is rejected: a->b then back along a->b.
+	srcWalk := &Cycle{Steps: []Step{{Arc: 0, Forward: true}, {Arc: 0, Forward: false}}}
+	if err := srcWalk.Validate(g); err == nil {
+		t.Fatal("walk with repeated arc through a source validated")
+	}
+}
+
+func TestCycleArcIDs(t *testing.T) {
+	g := fig3()
+	c, _ := FindInternalCycle(g)
+	ids := c.ArcIDs()
+	if len(ids) != len(c.Steps) {
+		t.Fatalf("ArcIDs len = %d", len(ids))
+	}
+	for i, s := range c.Steps {
+		if ids[i] != s.Arc {
+			t.Fatal("ArcIDs disagrees with Steps")
+		}
+	}
+}

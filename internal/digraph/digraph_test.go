@@ -1,0 +1,306 @@
+package digraph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(0)
+	if g.NumVertices() != 0 || g.NumArcs() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.NumVertices(), g.NumArcs())
+	}
+	if len(g.Sources()) != 0 || len(g.Sinks()) != 0 {
+		t.Fatalf("empty graph has sources/sinks")
+	}
+}
+
+func TestAddVertexAssignsDenseIDs(t *testing.T) {
+	g := New(0)
+	for i := 0; i < 5; i++ {
+		v := g.AddVertex("")
+		if int(v) != i {
+			t.Fatalf("vertex id = %d, want %d", v, i)
+		}
+	}
+	if g.NumVertices() != 5 {
+		t.Fatalf("n = %d, want 5", g.NumVertices())
+	}
+}
+
+func TestAddArcBasics(t *testing.T) {
+	g := New(3)
+	a, err := g.AddArc(0, 1)
+	if err != nil {
+		t.Fatalf("AddArc: %v", err)
+	}
+	if a != 0 {
+		t.Fatalf("first arc id = %d, want 0", a)
+	}
+	b, err := g.AddArc(1, 2)
+	if err != nil {
+		t.Fatalf("AddArc: %v", err)
+	}
+	if b != 1 {
+		t.Fatalf("second arc id = %d, want 1", b)
+	}
+	if got := g.Arc(a); got.Tail != 0 || got.Head != 1 {
+		t.Fatalf("arc 0 = %+v", got)
+	}
+	if g.OutDegree(0) != 1 || g.InDegree(1) != 1 || g.InDegree(2) != 1 {
+		t.Fatalf("degrees wrong: out0=%d in1=%d in2=%d", g.OutDegree(0), g.InDegree(1), g.InDegree(2))
+	}
+}
+
+func TestAddArcRejectsSelfLoop(t *testing.T) {
+	g := New(2)
+	if _, err := g.AddArc(1, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestAddArcRejectsOutOfRange(t *testing.T) {
+	g := New(2)
+	if _, err := g.AddArc(-1, 0); err == nil {
+		t.Fatal("negative tail accepted")
+	}
+	if _, err := g.AddArc(0, 2); err == nil {
+		t.Fatal("out-of-range head accepted")
+	}
+}
+
+func TestMustAddArcPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddArc did not panic on bad input")
+		}
+	}()
+	g := New(1)
+	g.MustAddArc(0, 5)
+}
+
+func TestParallelArcsAllowed(t *testing.T) {
+	g := New(2)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(0, 1)
+	if g.NumArcs() != 2 {
+		t.Fatalf("m = %d, want 2", g.NumArcs())
+	}
+	if got := g.ArcsBetween(0, 1); len(got) != 2 {
+		t.Fatalf("ArcsBetween = %v, want two arcs", got)
+	}
+}
+
+func TestSourcesAndSinks(t *testing.T) {
+	// 0 -> 1 -> 2, 3 isolated.
+	g := New(4)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	srcs, sinks := g.Sources(), g.Sinks()
+	wantSrc := []Vertex{0, 3}
+	wantSink := []Vertex{2, 3}
+	if len(srcs) != 2 || srcs[0] != wantSrc[0] || srcs[1] != wantSrc[1] {
+		t.Fatalf("sources = %v, want %v", srcs, wantSrc)
+	}
+	if len(sinks) != 2 || sinks[0] != wantSink[0] || sinks[1] != wantSink[1] {
+		t.Fatalf("sinks = %v, want %v", sinks, wantSink)
+	}
+	if !g.IsSource(0) || g.IsSource(1) || !g.IsSink(2) || g.IsSink(1) {
+		t.Fatal("IsSource/IsSink disagree with Sources/Sinks")
+	}
+}
+
+func TestArcBetween(t *testing.T) {
+	g := New(3)
+	id := g.MustAddArc(0, 1)
+	if got, ok := g.ArcBetween(0, 1); !ok || got != id {
+		t.Fatalf("ArcBetween(0,1) = %d,%v", got, ok)
+	}
+	if _, ok := g.ArcBetween(1, 0); ok {
+		t.Fatal("ArcBetween(1,0) found nonexistent arc")
+	}
+	if _, ok := g.ArcBetween(-1, 0); ok {
+		t.Fatal("ArcBetween(-1,0) found arc for invalid vertex")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := New(0)
+	v := g.AddVertex("a")
+	if g.Label(v) != "a" || g.VertexName(v) != "a" {
+		t.Fatalf("label = %q name = %q", g.Label(v), g.VertexName(v))
+	}
+	w := g.AddVertex("")
+	if g.VertexName(w) != "v1" {
+		t.Fatalf("default name = %q, want v1", g.VertexName(w))
+	}
+	g.SetLabel(w, "b")
+	if g.Label(w) != "b" {
+		t.Fatalf("after SetLabel, label = %q", g.Label(w))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(2)
+	g.MustAddArc(0, 1)
+	c := g.Clone()
+	c.AddVertex("x")
+	c.MustAddArc(0, 2)
+	if g.NumVertices() != 2 || g.NumArcs() != 1 {
+		t.Fatalf("mutating clone changed original: n=%d m=%d", g.NumVertices(), g.NumArcs())
+	}
+	if !Equal(g, g.Clone()) {
+		t.Fatal("clone not Equal to original")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// 0->1->2->3 plus 0->2; keep {1,2,3}.
+	g := New(4)
+	g.MustAddArc(0, 1)
+	a12 := g.MustAddArc(1, 2)
+	a23 := g.MustAddArc(2, 3)
+	g.MustAddArc(0, 2)
+	sub, n2o, a2o, err := g.InducedSubgraph([]Vertex{1, 2, 3})
+	if err != nil {
+		t.Fatalf("InducedSubgraph: %v", err)
+	}
+	if sub.NumVertices() != 3 || sub.NumArcs() != 2 {
+		t.Fatalf("sub n=%d m=%d, want 3,2", sub.NumVertices(), sub.NumArcs())
+	}
+	if n2o[0] != 1 || n2o[1] != 2 || n2o[2] != 3 {
+		t.Fatalf("newToOld = %v", n2o)
+	}
+	if a2o[0] != a12 || a2o[1] != a23 {
+		t.Fatalf("arcNewToOld = %v, want [%d %d]", a2o, a12, a23)
+	}
+}
+
+func TestInducedSubgraphRejectsDuplicates(t *testing.T) {
+	g := New(3)
+	if _, _, _, err := g.InducedSubgraph([]Vertex{0, 0}); err == nil {
+		t.Fatal("duplicate vertices accepted")
+	}
+	if _, _, _, err := g.InducedSubgraph([]Vertex{7}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := New(2)
+	g.SetLabel(0, "src")
+	g.MustAddArc(0, 1)
+	dot := g.DOT("T")
+	for _, want := range []string{"digraph T {", `"src" -> "v1";`, "}"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.Contains(g.DOT(""), "digraph G {") {
+		t.Fatal("empty name did not default to G")
+	}
+}
+
+func TestStringMentionsArcs(t *testing.T) {
+	g := New(2)
+	g.MustAddArc(0, 1)
+	s := g.String()
+	if !strings.Contains(s, "v0->v1") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestEqualDistinguishesGraphs(t *testing.T) {
+	g := New(3)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	h := New(3)
+	h.MustAddArc(1, 2)
+	h.MustAddArc(0, 1) // same arcs, different insertion order
+	if !Equal(g, h) {
+		t.Fatal("Equal should ignore insertion order")
+	}
+	h2 := New(3)
+	h2.MustAddArc(0, 1)
+	h2.MustAddArc(0, 2)
+	if Equal(g, h2) {
+		t.Fatal("Equal confused different arc sets")
+	}
+	if Equal(g, New(4)) {
+		t.Fatal("Equal confused different vertex counts")
+	}
+}
+
+func TestVerticesAndArcsCopies(t *testing.T) {
+	g := New(2)
+	g.MustAddArc(0, 1)
+	vs := g.Vertices()
+	if len(vs) != 2 || vs[0] != 0 || vs[1] != 1 {
+		t.Fatalf("Vertices = %v", vs)
+	}
+	arcs := g.Arcs()
+	arcs[0].Tail = 99 // must not affect graph
+	if g.Arc(0).Tail != 0 {
+		t.Fatal("Arcs() returned aliased storage")
+	}
+}
+
+// Property: for random arc insertions the sum of out-degrees and the sum
+// of in-degrees both equal the number of arcs.
+func TestDegreeSumProperty(t *testing.T) {
+	f := func(pairs []struct{ T, H uint8 }) bool {
+		g := New(16)
+		for _, p := range pairs {
+			t, h := Vertex(p.T%16), Vertex(p.H%16)
+			if t == h {
+				continue
+			}
+			g.MustAddArc(t, h)
+		}
+		outSum, inSum := 0, 0
+		for v := 0; v < g.NumVertices(); v++ {
+			outSum += g.OutDegree(Vertex(v))
+			inSum += g.InDegree(Vertex(v))
+		}
+		return outSum == g.NumArcs() && inSum == g.NumArcs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SortedArcIDs is a permutation of all arc ids and is sorted.
+func TestSortedArcIDsProperty(t *testing.T) {
+	f := func(pairs []struct{ T, H uint8 }) bool {
+		g := New(8)
+		for _, p := range pairs {
+			t, h := Vertex(p.T%8), Vertex(p.H%8)
+			if t == h {
+				continue
+			}
+			g.MustAddArc(t, h)
+		}
+		ids := g.SortedArcIDs()
+		if len(ids) != g.NumArcs() {
+			return false
+		}
+		seen := make(map[ArcID]bool)
+		for i, id := range ids {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+			if i > 0 {
+				a, b := g.Arc(ids[i-1]), g.Arc(id)
+				if a.Tail > b.Tail || (a.Tail == b.Tail && a.Head > b.Head) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

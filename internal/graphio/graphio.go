@@ -1,0 +1,134 @@
+// Package graphio serialises digraphs and dipath families in a small
+// line-oriented text format, so instances can be stored, exchanged and
+// fed to the command-line tools.
+//
+// Format (one record per line, '#' starts a comment):
+//
+//	digraph <n>          -- header, n vertices (ids 0..n-1)
+//	label <v> <text>     -- optional vertex label
+//	arc <tail> <head>    -- one arc, in id order
+//	path <v0> <v1> ...   -- one dipath, as its vertex sequence
+//
+// Writers emit records in that order; readers accept them in any order
+// as long as the header comes first and paths come after their arcs.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+)
+
+// Write serialises g and fam (fam may be nil) to w.
+func Write(w io.Writer, g *digraph.Digraph, fam dipath.Family) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %d\n", g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		if l := g.Label(digraph.Vertex(v)); l != "" {
+			fmt.Fprintf(bw, "label %d %s\n", v, l)
+		}
+	}
+	for _, a := range g.Arcs() {
+		fmt.Fprintf(bw, "arc %d %d\n", a.Tail, a.Head)
+	}
+	for _, p := range fam {
+		parts := make([]string, p.NumVertices())
+		for i, v := range p.Vertices() {
+			parts[i] = strconv.Itoa(int(v))
+		}
+		fmt.Fprintf(bw, "path %s\n", strings.Join(parts, " "))
+	}
+	return bw.Flush()
+}
+
+// Read parses a digraph and dipath family from r.
+func Read(r io.Reader) (*digraph.Digraph, dipath.Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var g *digraph.Digraph
+	var fam dipath.Family
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "digraph":
+			if g != nil {
+				return nil, nil, fmt.Errorf("graphio: line %d: duplicate header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, nil, fmt.Errorf("graphio: line %d: want 'digraph <n>'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, nil, fmt.Errorf("graphio: line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			g = digraph.New(n)
+		case "label":
+			if g == nil {
+				return nil, nil, fmt.Errorf("graphio: line %d: label before header", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, nil, fmt.Errorf("graphio: line %d: want 'label <v> <text>'", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 || v >= g.NumVertices() {
+				return nil, nil, fmt.Errorf("graphio: line %d: bad vertex %q", lineNo, fields[1])
+			}
+			g.SetLabel(digraph.Vertex(v), strings.Join(fields[2:], " "))
+		case "arc":
+			if g == nil {
+				return nil, nil, fmt.Errorf("graphio: line %d: arc before header", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, nil, fmt.Errorf("graphio: line %d: want 'arc <tail> <head>'", lineNo)
+			}
+			t, err1 := strconv.Atoi(fields[1])
+			h, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, nil, fmt.Errorf("graphio: line %d: bad arc endpoints", lineNo)
+			}
+			if _, err := g.AddArc(digraph.Vertex(t), digraph.Vertex(h)); err != nil {
+				return nil, nil, fmt.Errorf("graphio: line %d: %w", lineNo, err)
+			}
+		case "path":
+			if g == nil {
+				return nil, nil, fmt.Errorf("graphio: line %d: path before header", lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, nil, fmt.Errorf("graphio: line %d: empty path", lineNo)
+			}
+			verts := make([]digraph.Vertex, len(fields)-1)
+			for i, f := range fields[1:] {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, nil, fmt.Errorf("graphio: line %d: bad vertex %q", lineNo, f)
+				}
+				verts[i] = digraph.Vertex(v)
+			}
+			p, err := dipath.FromVertices(g, verts...)
+			if err != nil {
+				return nil, nil, fmt.Errorf("graphio: line %d: %w", lineNo, err)
+			}
+			fam = append(fam, p)
+		default:
+			return nil, nil, fmt.Errorf("graphio: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if g == nil {
+		return nil, nil, fmt.Errorf("graphio: missing 'digraph <n>' header")
+	}
+	return g, fam, nil
+}

@@ -1,0 +1,129 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/gen"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g, fam := gen.Fig3()
+	var buf bytes.Buffer
+	if err := Write(&buf, g, fam); err != nil {
+		t.Fatal(err)
+	}
+	g2, fam2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !digraph.Equal(g, g2) {
+		t.Fatal("graph did not round-trip")
+	}
+	if len(fam2) != len(fam) {
+		t.Fatalf("family size %d, want %d", len(fam2), len(fam))
+	}
+	for i := range fam {
+		if !fam[i].Equal(fam2[i]) {
+			t.Fatalf("path %d: %v != %v", i, fam[i], fam2[i])
+		}
+	}
+	// Labels preserved.
+	if g2.Label(0) != "a1" {
+		t.Fatalf("label lost: %q", g2.Label(0))
+	}
+}
+
+func TestRoundTripHavet(t *testing.T) {
+	g, fam := gen.Havet()
+	var buf bytes.Buffer
+	if err := Write(&buf, g, fam); err != nil {
+		t.Fatal(err)
+	}
+	g2, fam2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !digraph.Equal(g, g2) || len(fam2) != 8 {
+		t.Fatal("Havet instance did not round-trip")
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	in := `
+# a tiny instance
+digraph 3
+
+arc 0 1
+# chain
+arc 1 2
+path 0 1 2
+`
+	g, fam, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumArcs() != 2 || len(fam) != 1 {
+		t.Fatalf("parsed n=%d m=%d paths=%d", g.NumVertices(), g.NumArcs(), len(fam))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no header", "arc 0 1\n"},
+		{"double header", "digraph 2\ndigraph 2\n"},
+		{"bad count", "digraph x\n"},
+		{"negative count", "digraph -1\n"},
+		{"short header", "digraph\n"},
+		{"label before header", "label 0 a\n"},
+		{"label bad vertex", "digraph 1\nlabel 9 a\n"},
+		{"label short", "digraph 1\nlabel 0\n"},
+		{"arc short", "digraph 2\narc 0\n"},
+		{"arc bad int", "digraph 2\narc a b\n"},
+		{"arc out of range", "digraph 2\narc 0 5\n"},
+		{"path before header", "path 0 1\n"},
+		{"path empty", "digraph 2\npath\n"},
+		{"path bad vertex", "digraph 2\narc 0 1\npath 0 x\n"},
+		{"path missing arc", "digraph 3\narc 0 1\npath 1 2\n"},
+		{"unknown record", "digraph 1\nfrob 1\n"},
+		{"empty input", ""},
+	}
+	for _, c := range cases {
+		if _, _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestWriteEmptyFamily(t *testing.T) {
+	g := digraph.New(2)
+	g.MustAddArc(0, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	g2, fam, err := Read(&buf)
+	if err != nil || len(fam) != 0 || g2.NumArcs() != 1 {
+		t.Fatalf("empty-family round trip failed: %v", err)
+	}
+}
+
+func TestLabelWithSpaces(t *testing.T) {
+	g := digraph.New(1)
+	g.SetLabel(0, "the root")
+	var buf bytes.Buffer
+	if err := Write(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Label(0) != "the root" {
+		t.Fatalf("label = %q", g2.Label(0))
+	}
+}

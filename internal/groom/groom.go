@@ -1,0 +1,228 @@
+// Package groom implements the maximum-request problem posed in the
+// concluding remarks of Bermond & Cosnard (IPDPS 2007): given a
+// wavelength budget w, select a maximum subfamily of dipaths that can be
+// satisfied with w wavelengths.
+//
+// On a DAG without internal cycle Theorem 1 turns satisfiability into a
+// pure capacity condition — a subfamily fits in w wavelengths exactly
+// when its load is at most w — so the problem becomes maximum dipath
+// selection under arc capacities. The package provides:
+//
+//   - Feasible: the Theorem 1 satisfiability test (load ≤ w);
+//   - MaxOnPath: an exact polynomial algorithm for path graphs
+//     (the k-track interval scheduling greedy, as in the grooming-on-the-
+//     path line of work the paper grew out of);
+//   - Greedy: a capacity-aware greedy for general DAGs;
+//   - Exact: branch-and-bound for experiment-scale instances.
+package groom
+
+import (
+	"fmt"
+	"sort"
+
+	"wavedag/internal/cycles"
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+	"wavedag/internal/load"
+)
+
+// Feasible reports whether the subfamily of fam indexed by sel can be
+// satisfied with w wavelengths on the internal-cycle-free DAG g. By
+// Theorem 1 this holds exactly when the selection's load is at most w.
+// An error is returned when g has an internal cycle (the equivalence —
+// and hence this reduction — fails there).
+func Feasible(g *digraph.Digraph, fam dipath.Family, sel []int, w int) (bool, error) {
+	if cycles.HasInternalCycle(g) {
+		return false, fmt.Errorf("groom: graph has an internal cycle; load ≤ w no longer implies satisfiability")
+	}
+	sub := make(dipath.Family, 0, len(sel))
+	for _, i := range sel {
+		if i < 0 || i >= len(fam) {
+			return false, fmt.Errorf("groom: selection index %d out of range", i)
+		}
+		sub = append(sub, fam[i])
+	}
+	return load.Pi(g, sub) <= w, nil
+}
+
+// MaxOnPath solves the problem exactly when g is a directed path graph
+// (vertices 0..n-1, arcs i -> i+1): dipaths are intervals, and the
+// maximum selection with every arc used at most w times is the k-track
+// interval scheduling problem. The greedy by right endpoint with
+// tightest-track assignment is optimal. Returns the selected indices in
+// increasing order.
+func MaxOnPath(g *digraph.Digraph, fam dipath.Family, w int) ([]int, error) {
+	if w < 0 {
+		return nil, fmt.Errorf("groom: negative wavelength budget")
+	}
+	// Verify the path-graph shape and map each dipath to an interval
+	// [first, last) over arc positions.
+	n := g.NumVertices()
+	if g.NumArcs() != n-1 {
+		return nil, fmt.Errorf("groom: not a path graph (%d arcs for %d vertices)", g.NumArcs(), n)
+	}
+	for i := 0; i < n-1; i++ {
+		if _, ok := g.ArcBetween(digraph.Vertex(i), digraph.Vertex(i+1)); !ok {
+			return nil, fmt.Errorf("groom: not a path graph (missing arc %d->%d)", i, i+1)
+		}
+	}
+	type ival struct{ lo, hi, idx int } // [lo, hi) over vertex positions
+	ivals := make([]ival, 0, len(fam))
+	for i, p := range fam {
+		if err := p.Validate(g); err != nil {
+			return nil, err
+		}
+		if p.NumArcs() == 0 {
+			continue // zero-arc dipaths cost nothing; selected at the end
+		}
+		ivals = append(ivals, ival{int(p.First()), int(p.Last()), i})
+	}
+	sort.Slice(ivals, func(a, b int) bool {
+		if ivals[a].hi != ivals[b].hi {
+			return ivals[a].hi < ivals[b].hi
+		}
+		return ivals[a].lo > ivals[b].lo // tightest interval first on ties
+	})
+	if w == 0 {
+		var sel []int
+		for i, p := range fam {
+			if p.NumArcs() == 0 {
+				sel = append(sel, i)
+			}
+		}
+		return sel, nil
+	}
+	// tracks[t] = right endpoint of the last interval on track t.
+	tracks := make([]int, w)
+	for t := range tracks {
+		tracks[t] = -1 << 30
+	}
+	var sel []int
+	for _, iv := range ivals {
+		// Best fit: the track whose last end is largest but ≤ iv.lo.
+		best := -1
+		for t := range tracks {
+			if tracks[t] <= iv.lo && (best < 0 || tracks[t] > tracks[best]) {
+				best = t
+			}
+		}
+		if best >= 0 {
+			tracks[best] = iv.hi
+			sel = append(sel, iv.idx)
+		}
+	}
+	for i, p := range fam {
+		if p.NumArcs() == 0 {
+			sel = append(sel, i)
+		}
+	}
+	sort.Ints(sel)
+	return sel, nil
+}
+
+// Greedy selects dipaths for a general DAG under arc capacity w: dipaths
+// are considered shortest-first (fewest arcs block the least capacity)
+// and accepted when every arc still has room. Zero-arc dipaths are
+// always accepted. The result is feasible but not necessarily maximal in
+// cardinality.
+func Greedy(g *digraph.Digraph, fam dipath.Family, w int) []int {
+	order := make([]int, len(fam))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := fam[order[a]].NumArcs(), fam[order[b]].NumArcs()
+		if la != lb {
+			return la < lb
+		}
+		return order[a] < order[b]
+	})
+	remaining := make([]int, g.NumArcs())
+	for a := range remaining {
+		remaining[a] = w
+	}
+	var sel []int
+	for _, i := range order {
+		ok := true
+		for _, a := range fam[i].Arcs() {
+			if remaining[a] == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, a := range fam[i].Arcs() {
+			remaining[a]--
+		}
+		sel = append(sel, i)
+	}
+	sort.Ints(sel)
+	return sel
+}
+
+// Exact finds a maximum selection under arc capacity w by branch and
+// bound (include/exclude per dipath, bounding with remaining count).
+// Intended for experiment-scale instances; nodeCap limits the search and
+// ok=false reports that the cap was hit (the returned selection is still
+// feasible and at least as large as Greedy's).
+func Exact(g *digraph.Digraph, fam dipath.Family, w int, nodeCap int) (sel []int, ok bool) {
+	best := Greedy(g, fam, w)
+	remaining := make([]int, g.NumArcs())
+	for a := range remaining {
+		remaining[a] = w
+	}
+	// Order dipaths by length ascending — cheap ones first maximizes
+	// early lower bounds.
+	order := make([]int, len(fam))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return fam[order[a]].NumArcs() < fam[order[b]].NumArcs()
+	})
+	var cur []int
+	nodes := 0
+	complete := true
+	var rec func(k int)
+	rec = func(k int) {
+		nodes++
+		if nodes > nodeCap {
+			complete = false
+			return
+		}
+		if len(cur)+len(order)-k <= len(best) {
+			return // even taking everything left cannot beat best
+		}
+		if k == len(order) {
+			if len(cur) > len(best) {
+				best = append(best[:0:0], cur...)
+			}
+			return
+		}
+		i := order[k]
+		fits := true
+		for _, a := range fam[i].Arcs() {
+			if remaining[a] == 0 {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			for _, a := range fam[i].Arcs() {
+				remaining[a]--
+			}
+			cur = append(cur, i)
+			rec(k + 1)
+			cur = cur[:len(cur)-1]
+			for _, a := range fam[i].Arcs() {
+				remaining[a]++
+			}
+		}
+		rec(k + 1)
+	}
+	rec(0)
+	sort.Ints(best)
+	return best, complete
+}

@@ -1,0 +1,220 @@
+package groom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wavedag/internal/core"
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+	"wavedag/internal/gen"
+	"wavedag/internal/load"
+)
+
+// pathGraph returns the directed path 0 -> 1 -> ... -> n-1.
+func pathGraph(n int) *digraph.Digraph {
+	g := digraph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddArc(digraph.Vertex(i), digraph.Vertex(i+1))
+	}
+	return g
+}
+
+func interval(g *digraph.Digraph, lo, hi int) *dipath.Path {
+	verts := make([]digraph.Vertex, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		verts = append(verts, digraph.Vertex(v))
+	}
+	return dipath.MustFromVertices(g, verts...)
+}
+
+func TestFeasible(t *testing.T) {
+	g := pathGraph(4)
+	fam := dipath.Family{interval(g, 0, 2), interval(g, 1, 3), interval(g, 0, 3)}
+	ok, err := Feasible(g, fam, []int{0, 1, 2}, 3)
+	if err != nil || !ok {
+		t.Fatalf("load 3 within w=3 rejected: %v %v", ok, err)
+	}
+	ok, err = Feasible(g, fam, []int{0, 1, 2}, 2)
+	if err != nil || ok {
+		t.Fatalf("load 3 accepted at w=2")
+	}
+	if _, err := Feasible(g, fam, []int{7}, 2); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	// Internal-cycle graph: reduction invalid, must error.
+	g3, fam3 := gen.Fig3()
+	if _, err := Feasible(g3, fam3, []int{0}, 2); err == nil {
+		t.Fatal("internal-cycle graph accepted")
+	}
+}
+
+func TestMaxOnPathSimple(t *testing.T) {
+	g := pathGraph(6)
+	fam := dipath.Family{
+		interval(g, 0, 2), // A
+		interval(g, 1, 3), // B
+		interval(g, 3, 5), // C
+		interval(g, 0, 5), // D (long, conflicts with everything)
+	}
+	// w = 1: optimal is {A, C} (B overlaps A, D overlaps all).
+	sel, err := MaxOnPath(g, fam, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("w=1 selection = %v, want 2 dipaths", sel)
+	}
+	// w = 2: all but one can fit: {A,B,C} has load 2; adding D makes arc
+	// 1->2 load 3. Optimum 3.
+	sel, err = MaxOnPath(g, fam, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 3 {
+		t.Fatalf("w=2 selection = %v, want 3 dipaths", sel)
+	}
+	// w = 3: everything fits.
+	sel, err = MaxOnPath(g, fam, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 4 {
+		t.Fatalf("w=3 selection = %v, want all", sel)
+	}
+}
+
+func TestMaxOnPathZeroBudget(t *testing.T) {
+	g := pathGraph(4)
+	fam := dipath.Family{
+		interval(g, 0, 1),
+		dipath.MustFromVertices(g, 2), // zero-arc: always satisfiable
+	}
+	sel, err := MaxOnPath(g, fam, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0] != 1 {
+		t.Fatalf("w=0 selection = %v, want just the zero-arc dipath", sel)
+	}
+	if _, err := MaxOnPath(g, fam, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestMaxOnPathRejectsNonPath(t *testing.T) {
+	g := digraph.New(3)
+	g.MustAddArc(0, 1)
+	if _, err := MaxOnPath(g, nil, 1); err == nil {
+		t.Fatal("non-path accepted (missing arcs)")
+	}
+	d := digraph.New(3)
+	d.MustAddArc(0, 1)
+	d.MustAddArc(0, 2)
+	if _, err := MaxOnPath(d, nil, 1); err == nil {
+		t.Fatal("branching graph accepted")
+	}
+}
+
+// MaxOnPath must agree with the exact branch-and-bound on random
+// interval instances (cross-validation of the greedy's optimality).
+func TestMaxOnPathMatchesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(8)
+		g := pathGraph(n)
+		var fam dipath.Family
+		for i := 0; i < 4+rng.Intn(10); i++ {
+			lo := rng.Intn(n - 1)
+			hi := lo + 1 + rng.Intn(n-lo-1)
+			fam = append(fam, interval(g, lo, hi))
+		}
+		w := 1 + rng.Intn(3)
+		greedySel, err := MaxOnPath(g, fam, w)
+		if err != nil {
+			return false
+		}
+		exactSel, complete := Exact(g, fam, w, 1_000_000)
+		if !complete {
+			return true // skip rare capped cases
+		}
+		if ok, err := Feasible(g, fam, greedySel, w); err != nil || !ok {
+			return false
+		}
+		return len(greedySel) == len(exactSel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyFeasibleAndMonotone(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(20, 4, 4, 0.25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := gen.RandomWalkFamily(g, 60, 6, 10)
+	prev := -1
+	for w := 0; w <= 6; w++ {
+		sel := Greedy(g, fam, w)
+		ok, err := Feasible(g, fam, sel, w)
+		if err != nil || !ok {
+			t.Fatalf("w=%d: greedy selection infeasible: %v", w, err)
+		}
+		if len(sel) < prev {
+			t.Fatalf("w=%d: selection shrank from %d to %d with more capacity", w, prev, len(sel))
+		}
+		prev = len(sel)
+	}
+	// With w = π everything fits.
+	pi := load.Pi(g, fam)
+	if sel := Greedy(g, fam, pi); len(sel) != len(fam) {
+		t.Fatalf("w=π must fit everything: %d of %d", len(sel), len(fam))
+	}
+}
+
+func TestExactBeatsOrMatchesGreedy(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(12, 3, 3, 0.3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := gen.RandomWalkFamily(g, 25, 5, 22)
+	for w := 1; w <= 3; w++ {
+		greedy := Greedy(g, fam, w)
+		exact, complete := Exact(g, fam, w, 2_000_000)
+		if !complete {
+			t.Skipf("w=%d: node cap hit", w)
+		}
+		if len(exact) < len(greedy) {
+			t.Fatalf("w=%d: exact %d < greedy %d", w, len(exact), len(greedy))
+		}
+		if ok, err := Feasible(g, fam, exact, w); err != nil || !ok {
+			t.Fatalf("w=%d: exact selection infeasible", w)
+		}
+	}
+}
+
+// End-to-end with Theorem 1: select with budget w, then the selected
+// subfamily must actually color with ≤ w wavelengths.
+func TestSelectionsColorWithinBudget(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(15, 3, 3, 0.25, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := gen.RandomWalkFamily(g, 40, 6, 32)
+	for w := 1; w <= 4; w++ {
+		sel := Greedy(g, fam, w)
+		sub := make(dipath.Family, 0, len(sel))
+		for _, i := range sel {
+			sub = append(sub, fam[i])
+		}
+		res, err := core.ColorNoInternalCycle(g, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumColors > w {
+			t.Fatalf("w=%d: selection needed %d wavelengths", w, res.NumColors)
+		}
+	}
+}

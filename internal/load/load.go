@@ -1,0 +1,126 @@
+// Package load computes arc loads of dipath families: load(e) is the
+// number of dipaths traversing arc e, and π(G,P) — written Pi here — is
+// the maximum load over all arcs. π is the trivial lower bound on the
+// number of wavelengths w(G,P); the central question of Bermond & Cosnard
+// (IPDPS 2007) is when w = π.
+package load
+
+import (
+	"fmt"
+	"sort"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+)
+
+// ArcLoads returns load[a] for every arc identifier a of g.
+func ArcLoads(g *digraph.Digraph, f dipath.Family) []int {
+	loads := make([]int, g.NumArcs())
+	for _, p := range f {
+		for _, a := range p.Arcs() {
+			loads[a]++
+		}
+	}
+	return loads
+}
+
+// Pi returns π(G,P), the maximum arc load (0 for empty families or
+// arc-less graphs).
+func Pi(g *digraph.Digraph, f dipath.Family) int {
+	maxLoad := 0
+	for _, l := range ArcLoads(g, f) {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	return maxLoad
+}
+
+// MaxLoadedArc returns an arc of maximum load and that load. When several
+// arcs attain the maximum the smallest identifier is returned; ok is false
+// when the graph has no arcs.
+func MaxLoadedArc(g *digraph.Digraph, f dipath.Family) (arc digraph.ArcID, load int, ok bool) {
+	loads := ArcLoads(g, f)
+	if len(loads) == 0 {
+		return -1, 0, false
+	}
+	arc, load = 0, loads[0]
+	for a := 1; a < len(loads); a++ {
+		if loads[a] > load {
+			arc, load = digraph.ArcID(a), loads[a]
+		}
+	}
+	return arc, load, true
+}
+
+// MaxLoadedArcAmong returns the arc of maximum load restricted to the
+// candidate set, breaking ties toward the smallest identifier. It is used
+// by the Theorem 6 algorithm, which needs the most loaded arc of the
+// unique internal cycle.
+func MaxLoadedArcAmong(g *digraph.Digraph, f dipath.Family, candidates []digraph.ArcID) (digraph.ArcID, int, error) {
+	if len(candidates) == 0 {
+		return -1, 0, fmt.Errorf("load: empty candidate set")
+	}
+	loads := ArcLoads(g, f)
+	best, bestLoad := candidates[0], -1
+	for _, a := range candidates {
+		if a < 0 || int(a) >= len(loads) {
+			return -1, 0, fmt.Errorf("load: candidate arc %d out of range", a)
+		}
+		if loads[a] > bestLoad || (loads[a] == bestLoad && a < best) {
+			best, bestLoad = a, loads[a]
+		}
+	}
+	return best, bestLoad, nil
+}
+
+// Histogram returns hist[l] = number of arcs with load exactly l,
+// for l in 0..π.
+func Histogram(g *digraph.Digraph, f dipath.Family) []int {
+	loads := ArcLoads(g, f)
+	pi := 0
+	for _, l := range loads {
+		if l > pi {
+			pi = l
+		}
+	}
+	hist := make([]int, pi+1)
+	for _, l := range loads {
+		hist[l]++
+	}
+	return hist
+}
+
+// Profile summarises the load distribution of a family.
+type Profile struct {
+	Pi       int     // maximum load
+	Mean     float64 // mean load over arcs with positive load
+	UsedArcs int     // number of arcs with positive load
+	TotalArc int     // number of arcs of the graph
+	Median   int     // median load among used arcs (0 when none)
+}
+
+// Summarize computes a Profile for (g, f).
+func Summarize(g *digraph.Digraph, f dipath.Family) Profile {
+	loads := ArcLoads(g, f)
+	var used []int
+	sum := 0
+	for _, l := range loads {
+		if l > 0 {
+			used = append(used, l)
+			sum += l
+		}
+	}
+	p := Profile{TotalArc: g.NumArcs(), UsedArcs: len(used)}
+	for _, l := range used {
+		if l > p.Pi {
+			p.Pi = l
+		}
+	}
+	if len(used) > 0 {
+		p.Mean = float64(sum) / float64(len(used))
+		sort.Ints(used)
+		p.Median = used[len(used)/2]
+	}
+	return p
+}

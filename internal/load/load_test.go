@@ -1,0 +1,164 @@
+package load
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+)
+
+// line returns 0->1->2->3->4.
+func line() *digraph.Digraph {
+	g := digraph.New(5)
+	for i := 0; i < 4; i++ {
+		g.MustAddArc(digraph.Vertex(i), digraph.Vertex(i+1))
+	}
+	return g
+}
+
+func TestArcLoadsAndPi(t *testing.T) {
+	g := line()
+	f := dipath.Family{
+		dipath.MustFromVertices(g, 0, 1, 2),
+		dipath.MustFromVertices(g, 1, 2, 3),
+		dipath.MustFromVertices(g, 1, 2),
+	}
+	loads := ArcLoads(g, f)
+	want := []int{1, 3, 1, 0}
+	for a, w := range want {
+		if loads[a] != w {
+			t.Fatalf("load[%d] = %d, want %d", a, loads[a], w)
+		}
+	}
+	if Pi(g, f) != 3 {
+		t.Fatalf("Pi = %d, want 3", Pi(g, f))
+	}
+}
+
+func TestPiEmptyFamily(t *testing.T) {
+	g := line()
+	if Pi(g, nil) != 0 {
+		t.Fatal("Pi of empty family not 0")
+	}
+	if Pi(digraph.New(3), nil) != 0 {
+		t.Fatal("Pi of arc-less graph not 0")
+	}
+}
+
+func TestSingleVertexPathsCarryNoLoad(t *testing.T) {
+	g := line()
+	f := dipath.Family{dipath.MustFromVertices(g, 2)}
+	if Pi(g, f) != 0 {
+		t.Fatal("single-vertex path carried load")
+	}
+}
+
+func TestMaxLoadedArc(t *testing.T) {
+	g := line()
+	f := dipath.Family{
+		dipath.MustFromVertices(g, 0, 1, 2),
+		dipath.MustFromVertices(g, 1, 2, 3),
+	}
+	arc, l, ok := MaxLoadedArc(g, f)
+	if !ok || arc != 1 || l != 2 {
+		t.Fatalf("MaxLoadedArc = %d,%d,%v", arc, l, ok)
+	}
+	if _, _, ok := MaxLoadedArc(digraph.New(2), nil); ok {
+		t.Fatal("MaxLoadedArc ok on arc-less graph")
+	}
+	// Tie broken toward the smallest id.
+	f2 := dipath.Family{dipath.MustFromVertices(g, 0, 1), dipath.MustFromVertices(g, 2, 3)}
+	arc2, _, _ := MaxLoadedArc(g, f2)
+	if arc2 != 0 {
+		t.Fatalf("tie-break arc = %d, want 0", arc2)
+	}
+}
+
+func TestMaxLoadedArcAmong(t *testing.T) {
+	g := line()
+	f := dipath.Family{
+		dipath.MustFromVertices(g, 0, 1, 2), // arcs 0,1
+		dipath.MustFromVertices(g, 1, 2),    // arc 1
+	}
+	arc, l, err := MaxLoadedArcAmong(g, f, []digraph.ArcID{0, 2, 3})
+	if err != nil || arc != 0 || l != 1 {
+		t.Fatalf("MaxLoadedArcAmong = %d,%d,%v", arc, l, err)
+	}
+	if _, _, err := MaxLoadedArcAmong(g, f, nil); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+	if _, _, err := MaxLoadedArcAmong(g, f, []digraph.ArcID{99}); err == nil {
+		t.Fatal("out-of-range candidate accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	g := line()
+	f := dipath.Family{
+		dipath.MustFromVertices(g, 0, 1, 2),
+		dipath.MustFromVertices(g, 1, 2, 3),
+	}
+	h := Histogram(g, f)
+	// loads: arc0=1, arc1=2, arc2=1, arc3=0
+	want := []int{1, 2, 1}
+	if len(h) != len(want) {
+		t.Fatalf("histogram = %v", h)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("hist[%d] = %d, want %d", i, h[i], want[i])
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := line()
+	f := dipath.Family{
+		dipath.MustFromVertices(g, 0, 1, 2),
+		dipath.MustFromVertices(g, 1, 2, 3),
+	}
+	p := Summarize(g, f)
+	if p.Pi != 2 || p.UsedArcs != 3 || p.TotalArc != 4 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.Mean < 1.33 || p.Mean > 1.34 {
+		t.Fatalf("mean = %v", p.Mean)
+	}
+	if p.Median != 1 {
+		t.Fatalf("median = %d", p.Median)
+	}
+	empty := Summarize(g, nil)
+	if empty.Pi != 0 || empty.UsedArcs != 0 || empty.Mean != 0 {
+		t.Fatalf("empty profile = %+v", empty)
+	}
+}
+
+// Property: replicating a family h times multiplies every arc load by h,
+// hence Pi as well — the scaling used by the tightness constructions of
+// Theorems 6 and 7.
+func TestReplicationScalesLoad(t *testing.T) {
+	g := line()
+	base := dipath.Family{
+		dipath.MustFromVertices(g, 0, 1, 2),
+		dipath.MustFromVertices(g, 1, 2, 3),
+		dipath.MustFromVertices(g, 3, 4),
+	}
+	f := func(hRaw uint8) bool {
+		h := int(hRaw%7) + 1
+		rep := base.Replicate(h)
+		if Pi(g, rep) != h*Pi(g, base) {
+			return false
+		}
+		la, lb := ArcLoads(g, base), ArcLoads(g, rep)
+		for a := range la {
+			if lb[a] != h*la[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

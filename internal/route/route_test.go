@@ -1,0 +1,227 @@
+package route
+
+import (
+	"errors"
+	"testing"
+
+	"wavedag/internal/core"
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+	"wavedag/internal/gen"
+	"wavedag/internal/load"
+)
+
+// grid builds a small layered DAG with two parallel routes of different
+// lengths between 0 and 4: 0->1->4 (short) and 0->2->3->4 (long).
+func twoRoutes() *digraph.Digraph {
+	g := digraph.New(5)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 4)
+	g.MustAddArc(0, 2)
+	g.MustAddArc(2, 3)
+	g.MustAddArc(3, 4)
+	return g
+}
+
+func TestShortestPath(t *testing.T) {
+	g := twoRoutes()
+	p, err := ShortestPath(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumArcs() != 2 {
+		t.Fatalf("shortest path has %d arcs, want 2", p.NumArcs())
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	self, err := ShortestPath(g, 3, 3)
+	if err != nil || self.NumArcs() != 0 {
+		t.Fatalf("self route = %v, %v", self, err)
+	}
+}
+
+func TestShortestPathErrors(t *testing.T) {
+	g := twoRoutes()
+	if _, err := ShortestPath(g, 4, 0); err == nil {
+		t.Fatal("backwards route found")
+	}
+	var nr ErrNoRoute
+	_, err := ShortestPath(g, 1, 2)
+	if !errors.As(err, &nr) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+	if nr.Error() == "" {
+		t.Fatal("empty error text")
+	}
+	if _, err := ShortestPath(g, -1, 2); err == nil {
+		t.Fatal("invalid src accepted")
+	}
+	if _, err := ShortestPath(g, 0, 9); err == nil {
+		t.Fatal("invalid dst accepted")
+	}
+}
+
+func TestShortestPaths(t *testing.T) {
+	g := twoRoutes()
+	fam, err := ShortestPaths(g, []Request{{0, 4}, {0, 3}, {2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam) != 3 {
+		t.Fatalf("family size %d", len(fam))
+	}
+	if err := fam.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ShortestPaths(g, []Request{{0, 4}, {4, 0}}); err == nil {
+		t.Fatal("unroutable request accepted")
+	}
+}
+
+func TestMinLoadSequentialBalances(t *testing.T) {
+	g := twoRoutes()
+	// Two identical requests: shortest routing stacks both on 0->1->4
+	// (load 2); min-load routing must split them (load 1).
+	reqs := []Request{{0, 4}, {0, 4}}
+	short, err := ShortestPaths(g, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi := load.Pi(g, short); pi != 2 {
+		t.Fatalf("shortest routing load = %d, want 2", pi)
+	}
+	balanced, err := MinLoadSequential(g, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi := load.Pi(g, balanced); pi != 1 {
+		t.Fatalf("min-load routing load = %d, want 1", pi)
+	}
+	if err := balanced.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinLoadSequentialErrors(t *testing.T) {
+	g := twoRoutes()
+	if _, err := MinLoadSequential(g, []Request{{1, 2}}); err == nil {
+		t.Fatal("unroutable request accepted")
+	}
+	if _, err := MinLoadSequential(g, []Request{{-1, 0}}); err == nil {
+		t.Fatal("invalid vertex accepted")
+	}
+	self, err := MinLoadSequential(g, []Request{{2, 2}})
+	if err != nil || self[0].NumArcs() != 0 {
+		t.Fatal("self request mishandled")
+	}
+}
+
+func TestUPPRoutes(t *testing.T) {
+	g, _, err := gen.InternalCycleGadget(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a1 (vertex 0) to d1 (vertex 3) is unique.
+	fam, err := UPPRoutes(g, []Request{{0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam) != 1 || fam[0].NumArcs() != 3 {
+		t.Fatalf("route = %v", fam[0])
+	}
+	if _, err := UPPRoutes(g, []Request{{3, 0}}); err == nil {
+		t.Fatal("unroutable request accepted")
+	}
+	// Non-UPP topology rejected.
+	d := digraph.New(4)
+	d.MustAddArc(0, 1)
+	d.MustAddArc(0, 2)
+	d.MustAddArc(1, 3)
+	d.MustAddArc(2, 3)
+	if _, err := UPPRoutes(d, []Request{{0, 3}}); err == nil {
+		t.Fatal("non-UPP topology accepted")
+	}
+}
+
+func TestMulticastIsOptimal(t *testing.T) {
+	// Multicast on any DAG: routes form an out-tree, so w = π by
+	// Theorem 1 (reproducing the multicast equality of [2]).
+	g := gen.RandomDAG(30, 80, 17)
+	origin := digraph.Vertex(0)
+	var dests []digraph.Vertex
+	for v := 1; v < 30; v++ {
+		if reachableSet(g, origin)[v] {
+			dests = append(dests, digraph.Vertex(v))
+		}
+	}
+	if len(dests) < 3 {
+		t.Skip("random graph too sparse for a meaningful multicast")
+	}
+	fam, err := Multicast(g, origin, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fam.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// The multicast routes live on a BFS out-tree. Restrict the topology
+	// to the arcs actually used: the restriction has no cycle at all, so
+	// Theorem 1 applies and gives exactly π wavelengths.
+	tree := digraph.New(g.NumVertices())
+	seen := map[[2]digraph.Vertex]bool{}
+	for _, p := range fam {
+		vs := p.Vertices()
+		for i := 0; i+1 < len(vs); i++ {
+			key := [2]digraph.Vertex{vs[i], vs[i+1]}
+			if !seen[key] {
+				seen[key] = true
+				tree.MustAddArc(vs[i], vs[i+1])
+			}
+		}
+	}
+	treeFam := make(dipath.Family, len(fam))
+	for i, p := range fam {
+		treeFam[i] = dipath.MustFromVertices(tree, p.Vertices()...)
+	}
+	res, err := core.ColorNoInternalCycle(tree, treeFam)
+	if err != nil {
+		t.Fatalf("multicast tree should be internal-cycle-free: %v", err)
+	}
+	pi := load.Pi(tree, treeFam)
+	if pi >= 1 && res.NumColors != pi {
+		t.Fatalf("multicast: %d wavelengths for load %d", res.NumColors, pi)
+	}
+}
+
+func TestMulticastErrors(t *testing.T) {
+	g := twoRoutes()
+	if _, err := Multicast(g, -1, nil); err == nil {
+		t.Fatal("bad origin accepted")
+	}
+	if _, err := Multicast(g, 1, []digraph.Vertex{2}); err == nil {
+		t.Fatal("unreachable destination accepted")
+	}
+	fam, err := Multicast(g, 0, []digraph.Vertex{4, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam[2].NumArcs() != 0 {
+		t.Fatal("origin destination should give the single-vertex path")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	g := twoRoutes()
+	reqs := AllToAll(g)
+	// Reachable ordered pairs: from 0: 1,2,3,4; from 1: 4; from 2: 3,4;
+	// from 3: 4. Total 8.
+	if len(reqs) != 8 {
+		t.Fatalf("all-to-all size = %d, want 8", len(reqs))
+	}
+	for _, r := range reqs {
+		if _, err := ShortestPath(g, r.Src, r.Dst); err != nil {
+			t.Fatalf("unroutable request %v in all-to-all", r)
+		}
+	}
+}

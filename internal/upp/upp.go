@@ -1,0 +1,247 @@
+// Package upp implements the Unique diPath Property machinery of §4 of
+// Bermond & Cosnard (IPDPS 2007). A DAG is an UPP-DAG when between any
+// ordered pair of vertices there is at most one dipath. For UPP-DAGs the
+// paper proves the Helly property of dipath conflicts (Property 3), from
+// which the load equals the clique number of the conflict graph, and the
+// crossing lemma (Lemma 4) that forbids K_{2,3} in conflict graphs
+// (Corollary 5).
+package upp
+
+import (
+	"fmt"
+
+	"wavedag/internal/dag"
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+)
+
+// PathCounts returns counts[u][v] = number of distinct dipaths from u to v
+// saturated at 2 (0, 1, or 2 meaning "two or more"). counts[v][v] = 1
+// (the empty dipath). Saturation keeps the DP overflow-free on dense DAGs.
+func PathCounts(g *digraph.Digraph) ([][]uint8, error) {
+	order, err := dag.TopoSort(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	counts := make([][]uint8, n)
+	for i := range counts {
+		counts[i] = make([]uint8, n)
+	}
+	// Process targets in reverse topological order: counts[u][v] =
+	// Σ_{(u,x)} counts[x][v], saturating at 2.
+	for i := n - 1; i >= 0; i-- {
+		u := order[i]
+		counts[u][u] = 1
+		for _, a := range g.OutArcs(u) {
+			x := g.Arc(a).Head
+			for v := 0; v < n; v++ {
+				if counts[x][v] == 0 {
+					continue
+				}
+				s := counts[u][v] + counts[x][v]
+				if s > 2 {
+					s = 2
+				}
+				counts[u][v] = s
+			}
+		}
+	}
+	return counts, nil
+}
+
+// IsUPP reports whether the DAG g has the unique dipath property. When it
+// does not, a witness pair (u, v) with at least two distinct dipaths is
+// returned.
+func IsUPP(g *digraph.Digraph) (bool, digraph.Vertex, digraph.Vertex, error) {
+	counts, err := PathCounts(g)
+	if err != nil {
+		return false, -1, -1, err
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			if counts[u][v] >= 2 {
+				return false, digraph.Vertex(u), digraph.Vertex(v), nil
+			}
+		}
+	}
+	return true, -1, -1, nil
+}
+
+// Router answers unique-dipath routing queries on an UPP-DAG. Build one
+// with NewRouter; construction fails when the graph is not UPP, so every
+// successful Route answer is the unique dipath for its request.
+type Router struct {
+	g      *digraph.Digraph
+	counts [][]uint8
+}
+
+// NewRouter verifies the UPP property and returns a Router.
+func NewRouter(g *digraph.Digraph) (*Router, error) {
+	counts, err := PathCounts(g)
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			if counts[u][v] >= 2 {
+				return nil, fmt.Errorf("upp: graph is not UPP, two dipaths from %d to %d", u, v)
+			}
+		}
+	}
+	return &Router{g: g, counts: counts}, nil
+}
+
+// Route returns the unique dipath from u to v, or ok=false when v is not
+// reachable from u. For u == v it returns the single-vertex path.
+func (r *Router) Route(u, v digraph.Vertex) (*dipath.Path, bool) {
+	n := r.g.NumVertices()
+	if u < 0 || v < 0 || int(u) >= n || int(v) >= n || r.counts[u][v] == 0 {
+		return nil, false
+	}
+	vertices := []digraph.Vertex{u}
+	for cur := u; cur != v; {
+		next := digraph.Vertex(-1)
+		for _, a := range r.g.OutArcs(cur) {
+			h := r.g.Arc(a).Head
+			if r.counts[h][v] > 0 {
+				next = h
+				break // UPP guarantees exactly one such arc
+			}
+		}
+		if next < 0 {
+			return nil, false // unreachable despite positive count: impossible
+		}
+		vertices = append(vertices, next)
+		cur = next
+	}
+	p, err := dipath.FromVertices(r.g, vertices...)
+	if err != nil {
+		return nil, false
+	}
+	return p, true
+}
+
+// AllPairsFamily returns the family of unique dipaths for every ordered
+// pair (u, v), u != v, with v reachable from u — the "all-to-all"
+// instance the paper's concluding remarks discuss.
+func (r *Router) AllPairsFamily() dipath.Family {
+	var f dipath.Family
+	n := r.g.NumVertices()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if p, ok := r.Route(digraph.Vertex(u), digraph.Vertex(v)); ok {
+				f = append(f, p)
+			}
+		}
+	}
+	return f
+}
+
+// HellyIntersection verifies Property 3 on a concrete set of dipaths of an
+// UPP-DAG: if the dipaths are pairwise in conflict (share an arc), their
+// common arc intersection is non-empty and forms a dipath. It returns the
+// common arcs in traversal order of the first path. An error is returned
+// when the paths are pairwise intersecting yet have empty or non-path
+// intersection — which would disprove UPP.
+func HellyIntersection(g *digraph.Digraph, paths []*dipath.Path) ([]digraph.ArcID, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("upp: empty path set")
+	}
+	for i := 0; i < len(paths); i++ {
+		for j := i + 1; j < len(paths); j++ {
+			if !paths[i].SharesArc(paths[j]) {
+				return nil, fmt.Errorf("upp: paths %d and %d are not in conflict", i, j)
+			}
+		}
+	}
+	// Intersect arc sets, preserving order along paths[0].
+	common := paths[0].Arcs()
+	for _, p := range paths[1:] {
+		set := make(map[digraph.ArcID]bool, p.NumArcs())
+		for _, a := range p.Arcs() {
+			set[a] = true
+		}
+		var kept []digraph.ArcID
+		for _, a := range common {
+			if set[a] {
+				kept = append(kept, a)
+			}
+		}
+		common = kept
+	}
+	if len(common) == 0 {
+		return nil, fmt.Errorf("upp: pairwise-conflicting paths with empty common intersection (Helly violated; graph not UPP)")
+	}
+	// The common arcs must be consecutive on paths[0] (they form a dipath).
+	first := paths[0].ArcIndex(common[0])
+	for k, a := range common {
+		if paths[0].Arc(first+k) != a {
+			return nil, fmt.Errorf("upp: common intersection is not contiguous (Helly violated; graph not UPP)")
+		}
+	}
+	return common, nil
+}
+
+// VerifyHellyProperty samples every pairwise-intersecting triple of the
+// family and checks HellyIntersection on it; it is the test harness for
+// Property 3. Returns the number of triples checked.
+func VerifyHellyProperty(g *digraph.Digraph, f dipath.Family) (int, error) {
+	checked := 0
+	for i := 0; i < len(f); i++ {
+		for j := i + 1; j < len(f); j++ {
+			if !f[i].SharesArc(f[j]) {
+				continue
+			}
+			for k := j + 1; k < len(f); k++ {
+				if !f[i].SharesArc(f[k]) || !f[j].SharesArc(f[k]) {
+					continue
+				}
+				if _, err := HellyIntersection(g, []*dipath.Path{f[i], f[j], f[k]}); err != nil {
+					return checked, fmt.Errorf("upp: triple (%d,%d,%d): %w", i, j, k, err)
+				}
+				checked++
+			}
+		}
+	}
+	return checked, nil
+}
+
+// CheckCrossing verifies the crossing lemma (Lemma 4) on a quadruple:
+// P1, P2 arc-disjoint; Q1, Q2 arc-disjoint, each Qi intersecting both Pj.
+// If Q1 meets P1 before Q2 (in P1's traversal order), then Q2 must meet
+// P2 before Q1. It returns an error when the lemma is violated (i.e. the
+// digraph cannot be UPP).
+func CheckCrossing(g *digraph.Digraph, p1, p2, q1, q2 *dipath.Path) error {
+	if p1.SharesArc(p2) {
+		return fmt.Errorf("upp: P1 and P2 are not arc-disjoint")
+	}
+	if q1.SharesArc(q2) {
+		return fmt.Errorf("upp: Q1 and Q2 are not arc-disjoint")
+	}
+	firstMeet := func(p, q *dipath.Path) (int, bool) {
+		for i, a := range p.Arcs() {
+			if q.ContainsArc(a) {
+				return i, true
+			}
+		}
+		return -1, false
+	}
+	q1onP1, ok1 := firstMeet(p1, q1)
+	q2onP1, ok2 := firstMeet(p1, q2)
+	q1onP2, ok3 := firstMeet(p2, q1)
+	q2onP2, ok4 := firstMeet(p2, q2)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return fmt.Errorf("upp: each Qi must intersect both Pj")
+	}
+	if q1onP1 < q2onP1 && !(q2onP2 < q1onP2) {
+		return fmt.Errorf("upp: crossing lemma violated (Q1 before Q2 on P1 but not Q2 before Q1 on P2)")
+	}
+	if q2onP1 < q1onP1 && !(q1onP2 < q2onP2) {
+		return fmt.Errorf("upp: crossing lemma violated (Q2 before Q1 on P1 but not Q1 before Q2 on P2)")
+	}
+	return nil
+}

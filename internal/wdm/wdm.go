@@ -1,0 +1,139 @@
+// Package wdm models a WDM (wavelength-division multiplexing) optical
+// network layer over the digraph substrate and runs the full RWA pipeline
+// the paper's introduction motivates: requests are routed to dipaths,
+// dipaths are assigned wavelengths, and the provisioning either fits
+// within the per-fiber wavelength capacity or reports how far it missed.
+//
+// It is deliberately at the modelling altitude of the paper: links carry
+// W interchangeable wavelengths, no conversion, a request occupies one
+// wavelength on every fiber along its route, and ADM (add-drop
+// multiplexer) cost counts lightpath terminations.
+package wdm
+
+import (
+	"fmt"
+
+	"wavedag/internal/core"
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+	"wavedag/internal/load"
+	"wavedag/internal/route"
+)
+
+// Network is an optical network: a DAG topology plus a uniform per-fiber
+// wavelength capacity.
+type Network struct {
+	Topology    *digraph.Digraph
+	Wavelengths int // capacity W of every fiber; 0 means unlimited
+}
+
+// RoutingPolicy selects how requests are converted to dipaths.
+type RoutingPolicy int
+
+// Routing policies.
+const (
+	RouteShortest RoutingPolicy = iota // BFS shortest dipaths
+	RouteMinLoad                       // sequential min-max-load routing
+	RouteUPP                           // unique dipaths (UPP-DAGs only)
+)
+
+func (p RoutingPolicy) String() string {
+	switch p {
+	case RouteShortest:
+		return "shortest"
+	case RouteMinLoad:
+		return "min-load"
+	case RouteUPP:
+		return "upp"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Provisioning is the result of running the RWA pipeline.
+type Provisioning struct {
+	Paths       dipath.Family // route of each request, parallel to input
+	Wavelengths []int         // wavelength of each request
+	NumLambda   int           // wavelengths used in total
+	Pi          int           // load of the routing
+	Method      core.Method   // coloring algorithm that was applicable
+	Feasible    bool          // NumLambda fits the network capacity
+	ADMs        int           // add-drop multiplexers: lightpath endpoints
+}
+
+// Provision runs routing (per policy) then wavelength assignment (per the
+// strongest applicable theorem) for the requests.
+func (n *Network) Provision(reqs []route.Request, policy RoutingPolicy) (*Provisioning, error) {
+	var fam dipath.Family
+	var err error
+	switch policy {
+	case RouteShortest:
+		fam, err = route.ShortestPaths(n.Topology, reqs)
+	case RouteMinLoad:
+		fam, err = route.MinLoadSequential(n.Topology, reqs)
+	case RouteUPP:
+		fam, err = route.UPPRoutes(n.Topology, reqs)
+	default:
+		return nil, fmt.Errorf("wdm: unknown routing policy %v", policy)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wdm: routing: %w", err)
+	}
+	return n.Assign(fam)
+}
+
+// Assign runs only the wavelength-assignment half on pre-routed dipaths.
+func (n *Network) Assign(fam dipath.Family) (*Provisioning, error) {
+	res, method, err := core.ColorDAG(n.Topology, fam)
+	if err != nil {
+		return nil, fmt.Errorf("wdm: wavelength assignment: %w", err)
+	}
+	p := &Provisioning{
+		Paths:       fam,
+		Wavelengths: res.Colors,
+		NumLambda:   res.NumColors,
+		Pi:          res.Pi,
+		Method:      method,
+		ADMs:        2 * len(fam),
+	}
+	p.Feasible = n.Wavelengths == 0 || p.NumLambda <= n.Wavelengths
+	return p, nil
+}
+
+// Utilization returns, per arc, the fraction of the capacity in use
+// (load / W). With unlimited capacity the divisor is the number of
+// wavelengths actually used.
+func (n *Network) Utilization(p *Provisioning) []float64 {
+	loads := load.ArcLoads(n.Topology, p.Paths)
+	denom := n.Wavelengths
+	if denom == 0 {
+		denom = p.NumLambda
+	}
+	util := make([]float64, len(loads))
+	if denom == 0 {
+		return util
+	}
+	for a, l := range loads {
+		util[a] = float64(l) / float64(denom)
+	}
+	return util
+}
+
+// LambdaPlan reports, for one wavelength, the arcs it occupies; the union
+// over a wavelength's dipaths is arc-disjoint by construction.
+func LambdaPlan(g *digraph.Digraph, p *Provisioning, lambda int) []digraph.ArcID {
+	seen := map[digraph.ArcID]bool{}
+	var arcs []digraph.ArcID
+	for i, path := range p.Paths {
+		if p.Wavelengths[i] != lambda {
+			continue
+		}
+		for _, a := range path.Arcs() {
+			if !seen[a] {
+				seen[a] = true
+				arcs = append(arcs, a)
+			}
+		}
+	}
+	return arcs
+}

@@ -1,0 +1,193 @@
+// Package wavedag is a Go library reproducing Bermond & Cosnard,
+// "Minimum number of wavelengths equals load in a DAG without internal
+// cycle" (IPDPS 2007), together with the surrounding routing-and-
+// wavelength-assignment (RWA) machinery the paper's results live in.
+//
+// # Model
+//
+// A network is a DAG G; a request is satisfied by a dipath. The load
+// π(G,P) of a dipath family P is the maximum number of dipaths through a
+// single arc; the wavelength number w(G,P) is the minimum number of
+// colors such that arc-sharing dipaths get different colors. Always
+// π ≤ w.
+//
+// # Results implemented
+//
+//   - Theorem 1: if G has no internal cycle (an undirected cycle avoiding
+//     all sources and sinks), then w = π for every family, and
+//     ColorNoInternalCycle computes such a coloring in polynomial time.
+//   - Theorem 2 / Main Theorem: if G has an internal cycle some family
+//     needs w = 3 > 2 = π (gadget available as InternalCycleGadget), so
+//     the absence of internal cycles exactly characterises w ≡ π.
+//   - Property 3/Corollary 5 (UPP-DAGs — at most one dipath between any
+//     two vertices): conflicts have the Helly property, π equals the
+//     conflict-graph clique number, and no K_{2,3} occurs.
+//   - Theorem 6: on an UPP-DAG with exactly one internal cycle,
+//     w ≤ ⌈4π/3⌉, computed by ColorOneInternalCycleUPP.
+//   - Theorem 7: the bound is tight (Havet instance, HavetInstance).
+//
+// # Quick start
+//
+//	g := wavedag.NewGraph(4)
+//	g.MustAddArc(0, 1)
+//	g.MustAddArc(1, 2)
+//	g.MustAddArc(2, 3)
+//	fam := wavedag.Family{
+//		wavedag.MustPath(g, 0, 1, 2),
+//		wavedag.MustPath(g, 1, 2, 3),
+//	}
+//	res, method, _ := wavedag.Color(g, fam)
+//	fmt.Println(res.NumColors, method) // 2 theorem1
+//
+// The sub-packages under internal/ hold the implementation; this package
+// re-exports the stable API.
+package wavedag
+
+import (
+	"wavedag/internal/conflict"
+	"wavedag/internal/core"
+	"wavedag/internal/cycles"
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+	"wavedag/internal/gen"
+	"wavedag/internal/groom"
+	"wavedag/internal/load"
+	"wavedag/internal/route"
+	"wavedag/internal/upp"
+	"wavedag/internal/wdm"
+)
+
+// Re-exported core types.
+type (
+	// Graph is a directed multigraph with dense vertex and arc ids.
+	Graph = digraph.Digraph
+	// Vertex identifies a vertex of a Graph.
+	Vertex = digraph.Vertex
+	// ArcID identifies an arc of a Graph.
+	ArcID = digraph.ArcID
+	// Path is a dipath over a Graph.
+	Path = dipath.Path
+	// Family is an ordered collection of dipaths.
+	Family = dipath.Family
+	// Result is a wavelength assignment (colors, count, load).
+	Result = core.Result
+	// Method names the algorithm that produced a Result.
+	Method = core.Method
+	// ConflictGraph is the undirected conflict graph of a family.
+	ConflictGraph = conflict.Graph
+	// Network is a WDM network (topology + wavelength capacity).
+	Network = wdm.Network
+	// Provisioning is a routed and wavelength-assigned request set.
+	Provisioning = wdm.Provisioning
+	// Request is a source/destination connection demand.
+	Request = route.Request
+)
+
+// Methods reported by Color.
+const (
+	MethodTheorem1 = core.MethodTheorem1
+	MethodTheorem6 = core.MethodTheorem6
+	MethodDSATUR   = core.MethodDSATUR
+)
+
+// NewGraph returns a graph with n unlabeled vertices.
+func NewGraph(n int) *Graph { return digraph.New(n) }
+
+// NewPath builds a dipath through the given vertices of g.
+func NewPath(g *Graph, vertices ...Vertex) (*Path, error) {
+	return dipath.FromVertices(g, vertices...)
+}
+
+// MustPath is NewPath but panics on error.
+func MustPath(g *Graph, vertices ...Vertex) *Path {
+	return dipath.MustFromVertices(g, vertices...)
+}
+
+// Load returns π(G,P), the maximum arc load.
+func Load(g *Graph, fam Family) int { return load.Pi(g, fam) }
+
+// ArcLoads returns the per-arc load vector.
+func ArcLoads(g *Graph, fam Family) []int { return load.ArcLoads(g, fam) }
+
+// HasInternalCycle reports whether the DAG g contains an internal cycle —
+// the obstruction to w = π identified by the paper's Main Theorem.
+func HasInternalCycle(g *Graph) bool { return cycles.HasInternalCycle(g) }
+
+// InternalCycleCount returns the number of independent internal cycles.
+func InternalCycleCount(g *Graph) int { return cycles.IndependentCycleCount(g) }
+
+// IsUPP reports whether g has the unique-dipath property; when not, a
+// witness pair with two distinct dipaths is returned.
+func IsUPP(g *Graph) (ok bool, from, to Vertex, err error) { return upp.IsUPP(g) }
+
+// Color computes a wavelength assignment for fam on the DAG g using the
+// strongest applicable result of the paper: Theorem 1 (w = π) without
+// internal cycles, Theorem 6 (w ≤ ⌈4π/3⌉) on one-cycle UPP-DAGs, and the
+// DSATUR heuristic otherwise.
+func Color(g *Graph, fam Family) (*Result, Method, error) { return core.ColorDAG(g, fam) }
+
+// ColorNoInternalCycle computes a w = π wavelength assignment (Theorem 1).
+// It fails with an error when g has an internal cycle.
+func ColorNoInternalCycle(g *Graph, fam Family) (*Result, error) {
+	return core.ColorNoInternalCycle(g, fam)
+}
+
+// ColorOneInternalCycleUPP computes a w ≤ ⌈4π/3⌉ assignment on an
+// UPP-DAG with exactly one internal cycle (Theorem 6).
+func ColorOneInternalCycleUPP(g *Graph, fam Family) (*Result, error) {
+	return core.ColorOneInternalCycleUPP(g, fam)
+}
+
+// VerifyColoring checks that res is a proper assignment for fam on g.
+func VerifyColoring(g *Graph, fam Family, res *Result) error {
+	return core.Verify(g, fam, res)
+}
+
+// NewConflictGraph builds the conflict graph of fam over g.
+func NewConflictGraph(g *Graph, fam Family) *ConflictGraph {
+	return conflict.FromFamily(g, fam)
+}
+
+// Constructions from the paper, for experimentation and testing.
+
+// PathologicalStaircase returns the Figure 1 instance: k dipaths with
+// π = 2 whose conflict graph is complete (w = k).
+func PathologicalStaircase(k int) (*Graph, Family, error) { return gen.Fig1Staircase(k) }
+
+// Figure3Instance returns the Figure 3 instance: one internal cycle,
+// 5 dipaths, π = 2, w = 3.
+func Figure3Instance() (*Graph, Family) { return gen.Fig3() }
+
+// InternalCycleGadget returns the Theorem 2 construction with 2k
+// direction changes: π = 2 and w = 3 whenever an internal cycle exists.
+func InternalCycleGadget(k int) (*Graph, Family, error) { return gen.InternalCycleGadget(k) }
+
+// HavetInstance returns the Theorem 7 tightness example: an UPP-DAG with
+// one internal cycle whose family has π = 2 and w = 3; replicating the
+// family h times gives π = 2h and w = ⌈8h/3⌉ = ⌈4π/3⌉.
+func HavetInstance() (*Graph, Family) { return gen.Havet() }
+
+// The maximum-request problem from the paper's concluding remarks: given
+// a wavelength budget, select as many dipaths as possible that can still
+// be satisfied. On internal-cycle-free DAGs Theorem 1 reduces the
+// satisfiability test to "load ≤ budget".
+
+// MaxRequestsGreedy selects a feasible subfamily under the wavelength
+// budget, shortest dipaths first. Returns the selected indices.
+func MaxRequestsGreedy(g *Graph, fam Family, budget int) []int {
+	return groom.Greedy(g, fam, budget)
+}
+
+// MaxRequestsExact selects a maximum subfamily under the wavelength
+// budget by branch and bound; ok=false reports that the search cap was
+// hit (the selection is still feasible).
+func MaxRequestsExact(g *Graph, fam Family, budget int) ([]int, bool) {
+	return groom.Exact(g, fam, budget, 2_000_000)
+}
+
+// MaxRequestsOnPath solves the problem exactly in polynomial time when g
+// is a directed path graph (the grooming-on-the-path setting the paper
+// grew out of).
+func MaxRequestsOnPath(g *Graph, fam Family, budget int) ([]int, error) {
+	return groom.MaxOnPath(g, fam, budget)
+}

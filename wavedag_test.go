@@ -1,0 +1,91 @@
+package wavedag_test
+
+import (
+	"testing"
+
+	"wavedag"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := wavedag.NewGraph(4)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	g.MustAddArc(2, 3)
+	fam := wavedag.Family{
+		wavedag.MustPath(g, 0, 1, 2),
+		wavedag.MustPath(g, 1, 2, 3),
+	}
+	if pi := wavedag.Load(g, fam); pi != 2 {
+		t.Fatalf("π = %d, want 2", pi)
+	}
+	res, method, err := wavedag.Color(g, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != wavedag.MethodTheorem1 {
+		t.Fatalf("method = %s", method)
+	}
+	if res.NumColors != 2 {
+		t.Fatalf("colors = %d", res.NumColors)
+	}
+	if err := wavedag.VerifyColoring(g, fam, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeConstructions(t *testing.T) {
+	g, fam, err := wavedag.PathologicalStaircase(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wavedag.Load(g, fam) != 2 {
+		t.Fatal("staircase load wrong")
+	}
+	if !wavedag.HasInternalCycle(g) {
+		t.Fatal("staircase must have internal cycles (w > π)")
+	}
+
+	g3, fam3 := wavedag.Figure3Instance()
+	if wavedag.InternalCycleCount(g3) != 1 || len(fam3) != 5 {
+		t.Fatal("Figure 3 instance wrong")
+	}
+
+	gH, famH := wavedag.HavetInstance()
+	if ok, _, _, _ := wavedag.IsUPP(gH); !ok {
+		t.Fatal("Havet graph must be UPP")
+	}
+	res, err := wavedag.ColorOneInternalCycleUPP(gH, famH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != 3 {
+		t.Fatalf("Havet base coloring = %d colors, want 3", res.NumColors)
+	}
+
+	gG, famG, err := wavedag.InternalCycleGadget(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := wavedag.NewConflictGraph(gG, famG)
+	if cg.ChromaticNumber() != 3 {
+		t.Fatal("gadget χ must be 3")
+	}
+}
+
+func TestFacadeTheorem1Error(t *testing.T) {
+	g, fam := wavedag.Figure3Instance()
+	if _, err := wavedag.ColorNoInternalCycle(g, fam); err == nil {
+		t.Fatal("internal-cycle graph accepted by Theorem 1")
+	}
+}
+
+func TestFacadeArcLoads(t *testing.T) {
+	g := wavedag.NewGraph(3)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	fam := wavedag.Family{wavedag.MustPath(g, 0, 1, 2)}
+	loads := wavedag.ArcLoads(g, fam)
+	if len(loads) != 2 || loads[0] != 1 || loads[1] != 1 {
+		t.Fatalf("loads = %v", loads)
+	}
+}
