@@ -1,0 +1,22 @@
+# Repro/CI targets for the wavedag reproduction. `make verify` is the
+# tier-1 gate; `make benchsmoke` compiles and runs every benchmark once
+# so the measurement suite cannot silently rot; `make bench` refreshes a
+# full perf snapshot (see BENCH_PR1.json for the PR-1 baseline format).
+
+GO ?= go
+
+.PHONY: verify benchsmoke bench test
+
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+test: verify
+
+benchsmoke:
+	$(GO) vet ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+bench:
+	$(GO) run ./cmd/bench -benchtime 1s -out bench-latest.json

@@ -29,6 +29,7 @@ func BenchmarkAblationTheorem6VsDSATUR(b *testing.B) {
 		rep := fam.Replicate(h)
 		bound := (8*h + 2) / 3
 		b.Run(fmt.Sprintf("construction/h=%d", h), func(b *testing.B) {
+			b.ReportAllocs()
 			var colors int
 			for i := 0; i < b.N; i++ {
 				res, err := core.ColorOneInternalCycleUPP(g, rep)
@@ -44,6 +45,7 @@ func BenchmarkAblationTheorem6VsDSATUR(b *testing.B) {
 			b.ReportMetric(float64(bound), "bound")
 		})
 		b.Run(fmt.Sprintf("dsatur/h=%d", h), func(b *testing.B) {
+			b.ReportAllocs()
 			cg := conflict.FromFamily(g, rep)
 			var colors int
 			for i := 0; i < b.N; i++ {
@@ -70,6 +72,7 @@ func BenchmarkAblationBundleOverhead(b *testing.B) {
 	replicated := fam.Replicate(5) // 40 dipaths, heavy bundles
 	var distinct = all             // 44 distinct dipaths, no bundles
 	b.Run("replicated-40", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.ColorOneInternalCycleUPP(g, replicated); err != nil {
 				b.Fatal(err)
@@ -77,6 +80,7 @@ func BenchmarkAblationBundleOverhead(b *testing.B) {
 		}
 	})
 	b.Run("distinct-44", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.ColorOneInternalCycleUPP(g, distinct); err != nil {
 				b.Fatal(err)
@@ -99,6 +103,7 @@ func BenchmarkAblationExactBlowup(b *testing.B) {
 		}
 		cg := conflict.FromFamily(g, fam)
 		b.Run(fmt.Sprintf("exact-chi/K%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if chi := cg.ChromaticNumber(); chi != k {
 					b.Fatalf("χ=%d", chi)
@@ -113,6 +118,7 @@ func BenchmarkAblationExactBlowup(b *testing.B) {
 		}
 		fam := gen.RandomWalkFamily(g, n*4, 8, int64(n)+1)
 		b.Run(fmt.Sprintf("theorem1/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.ColorNoInternalCycle(g, fam); err != nil {
 					b.Fatal(err)

@@ -28,6 +28,7 @@ func BenchmarkFig1Pathological(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cg := conflict.FromFamily(g, fam)
 				w := cg.ChromaticNumber()
@@ -41,6 +42,7 @@ func BenchmarkFig1Pathological(b *testing.B) {
 
 // E2 / Figure 3: one internal cycle, C5 conflict graph, π = 2, w = 3.
 func BenchmarkFig3InternalCycle(b *testing.B) {
+	b.ReportAllocs()
 	g, fam := gen.Fig3()
 	for i := 0; i < b.N; i++ {
 		cg := conflict.FromFamily(g, fam)
@@ -62,6 +64,7 @@ func BenchmarkTheorem1(b *testing.B) {
 		}
 		fam := gen.RandomWalkFamily(g, cfg.paths, 8, int64(cfg.paths))
 		b.Run(fmt.Sprintf("n=%d/paths=%d", cfg.nInt, cfg.paths), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := core.ColorNoInternalCycle(g, fam)
 				if err != nil {
@@ -83,6 +86,7 @@ func BenchmarkTheorem2(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cg := conflict.FromFamily(g, fam)
 				if !cg.IsCycle() || cg.N() != 2*k+1 || cg.ChromaticNumber() != 3 {
@@ -95,6 +99,7 @@ func BenchmarkTheorem2(b *testing.B) {
 
 // E5 / Property 3: load equals conflict clique number on UPP-DAGs.
 func BenchmarkUPPClique(b *testing.B) {
+	b.ReportAllocs()
 	g := gen.RandomUPPDAG(25, 120, 5)
 	fam, err := gen.AllSourceSinkFamily(g)
 	if err != nil {
@@ -111,6 +116,7 @@ func BenchmarkUPPClique(b *testing.B) {
 
 // E6 / Corollary 5: no induced K_{2,3} in UPP conflict graphs.
 func BenchmarkUPPNoK23(b *testing.B) {
+	b.ReportAllocs()
 	g := gen.RandomUPPDAG(25, 120, 6)
 	fam, err := gen.AllSourceSinkFamily(g)
 	if err != nil {
@@ -144,6 +150,7 @@ func BenchmarkTheorem6(b *testing.B) {
 	}
 	for _, wl := range workloads {
 		b.Run(wl.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := core.ColorOneInternalCycleUPP(gH, wl.fam)
 				if err != nil {
@@ -156,6 +163,7 @@ func BenchmarkTheorem6(b *testing.B) {
 		})
 	}
 	b.Run("gadget-allpairs-x4", func(b *testing.B) {
+		b.ReportAllocs()
 		fam := all.Replicate(4)
 		for i := 0; i < b.N; i++ {
 			res, err := core.ColorOneInternalCycleUPP(gg, fam)
@@ -177,6 +185,7 @@ func BenchmarkTheorem7(b *testing.B) {
 		rep := fam.Replicate(h)
 		want := (8*h + 2) / 3
 		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := core.ColorOneInternalCycleUPP(g, rep)
 				if err != nil {
@@ -200,6 +209,7 @@ func BenchmarkC5Replicated(b *testing.B) {
 		rep := fam.Replicate(h)
 		want := (5*h + 1) / 2
 		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if chi := conflict.FromFamily(g, rep).ChromaticNumber(); chi != want {
 					b.Fatalf("χ=%d want %d", chi, want)
@@ -219,6 +229,7 @@ func BenchmarkMultiCycle(b *testing.B) {
 		}
 		g, fam := gen.DisjointUnion(parts...)
 		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if cycles.IndependentCycleCount(g) != c {
 					b.Fatal("cycle count wrong")
@@ -242,6 +253,7 @@ func BenchmarkRootedTree(b *testing.B) {
 		}
 		fam := r.AllPairsFamily()
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := core.ColorNoInternalCycle(g, fam)
 				if err != nil {
@@ -264,6 +276,7 @@ func BenchmarkColoringAlgorithms(b *testing.B) {
 	fam := gen.RandomWalkFamily(g, 150, 7, 4)
 	cg := conflict.FromFamily(g, fam)
 	b.Run("theorem1", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.ColorNoInternalCycle(g, fam); err != nil {
 				b.Fatal(err)
@@ -271,16 +284,19 @@ func BenchmarkColoringAlgorithms(b *testing.B) {
 		}
 	})
 	b.Run("greedy", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cg.GreedyColoring(nil)
 		}
 	})
 	b.Run("dsatur", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cg.DSATURColoring()
 		}
 	})
 	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cg.ChromaticNumber()
 		}
@@ -300,6 +316,7 @@ func BenchmarkRWAPipeline(b *testing.B) {
 	}
 	for _, policy := range []wdm.RoutingPolicy{wdm.RouteShortest, wdm.RouteMinLoad} {
 		b.Run(policy.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := net.Provision(reqs, policy); err != nil {
 					b.Fatal(err)

@@ -1,0 +1,274 @@
+// Command bench runs the paper's E1–E12 experiment pipelines plus
+// large-instance workloads under the Go benchmark harness and emits a
+// JSON snapshot (ns/op, B/op, allocs/op) for the repository's perf
+// trajectory (BENCH_PR*.json).
+//
+// Usage:
+//
+//	go run ./cmd/bench [-out bench.json] [-benchtime 1s] [-large]
+//
+// The E-suite entries mirror bench_test.go so snapshots line up with
+// `go test -bench=.`; the large entries (Theorem 1 at n=500/paths=5000,
+// a 64-component disjoint union, all-to-all batch routing) only exist
+// here — they are the scale targets the hot-path work is sized for.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"wavedag/internal/conflict"
+	"wavedag/internal/core"
+	"wavedag/internal/gen"
+	"wavedag/internal/load"
+	"wavedag/internal/route"
+	"wavedag/internal/wdm"
+)
+
+// Entry is one benchmark measurement of the snapshot.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	testing.Init() // register test.* flags so test.benchtime is settable
+	out := flag.String("out", "", "write JSON snapshot to this file (default stdout)")
+	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark")
+	large := flag.Bool("large", true, "include the large-instance workloads")
+	flag.Parse()
+
+	// testing.Benchmark honours this global.
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fatal(err)
+	}
+
+	var entries []Entry
+	run := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		e := Entry{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr, "%-40s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+
+	for _, b := range suite(*large) {
+		run(b.name, b.fn)
+	}
+
+	blob, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}
+
+type bench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// suite builds the benchmark list. Every workload is constructed outside
+// the timed loop, exactly as in bench_test.go.
+func suite(large bool) []bench {
+	var benches []bench
+	add := func(name string, fn func(b *testing.B)) {
+		benches = append(benches, bench{name, fn})
+	}
+
+	// E1 / Figure 1: exact χ on the pathological staircase.
+	for _, k := range []int{8, 12} {
+		k := k
+		g, fam, err := gen.Fig1Staircase(k)
+		if err != nil {
+			fatal(err)
+		}
+		add(fmt.Sprintf("e1/fig1-pathological/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cg := conflict.FromFamily(g, fam)
+				if w := cg.ChromaticNumber(); w != k {
+					b.Fatalf("w=%d want %d", w, k)
+				}
+			}
+		})
+	}
+
+	// E3 / Theorem 1 on the largest in-suite instance.
+	{
+		g, err := gen.RandomNoInternalCycleDAG(240, 4, 4, 0.2, 240)
+		if err != nil {
+			fatal(err)
+		}
+		fam := gen.RandomWalkFamily(g, 1500, 8, 1500)
+		add("e3/theorem1/n=240-paths=1500", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ColorNoInternalCycle(g, fam); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// E5 / Property 3: π = ω on an UPP-DAG.
+	{
+		g := gen.RandomUPPDAG(25, 120, 5)
+		fam, err := gen.AllSourceSinkFamily(g)
+		if err != nil {
+			fatal(err)
+		}
+		add("e5/upp-clique", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pi := load.Pi(g, fam)
+				om := conflict.FromFamily(g, fam).CliqueNumber()
+				if pi != om {
+					b.Fatalf("π=%d ω=%d", pi, om)
+				}
+			}
+		})
+	}
+
+	// E7 / Theorem 6 on the replicated Havet instance.
+	{
+		g, fam := gen.Havet()
+		rep := fam.Replicate(8)
+		add("e7/theorem6/havet-x8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ColorOneInternalCycleUPP(g, rep); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// E10: disjoint multi-cycle unions (DSATUR over components).
+	for _, c := range []int{4, 16} {
+		c := c
+		gh, fh := gen.Havet()
+		parts := make([]gen.Instance, c)
+		for i := range parts {
+			parts[i] = gen.Instance{G: gh, F: fh}
+		}
+		g, fam := gen.DisjointUnion(parts...)
+		add(fmt.Sprintf("e10/multi-cycle/C=%d", c), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cg := conflict.FromFamily(g, fam)
+				if w := conflict.CountColors(cg.DSATURColoring()); w < 3 {
+					b.Fatalf("w=%d", w)
+				}
+			}
+		})
+	}
+
+	// Full RWA pipeline, as in bench_test.go.
+	{
+		topo, err := gen.RandomNoInternalCycleDAG(40, 6, 6, 0.2, 12)
+		if err != nil {
+			fatal(err)
+		}
+		net := &wdm.Network{Topology: topo, Wavelengths: 32}
+		reqs := route.AllToAll(topo)
+		if len(reqs) > 200 {
+			reqs = reqs[:200]
+		}
+		for _, policy := range []wdm.RoutingPolicy{wdm.RouteShortest, wdm.RouteMinLoad} {
+			policy := policy
+			add("rwa-pipeline/"+policy.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := net.Provision(reqs, policy); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	if !large {
+		return benches
+	}
+
+	// Large 1: Theorem 1 at n=500 internal vertices, 5000 dipaths.
+	{
+		g, err := gen.RandomNoInternalCycleDAG(500, 8, 8, 0.2, 500)
+		if err != nil {
+			fatal(err)
+		}
+		fam := gen.RandomWalkFamily(g, 5000, 8, 5000)
+		add("large/theorem1/n=500-paths=5000", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ColorNoInternalCycle(g, fam); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Large 2: 64-component disjoint union; the exact solvers shard the
+	// conflict graph and fan the components out to the worker pool.
+	{
+		gh, fh := gen.Havet()
+		rep := fh.Replicate(3) // ≥32-vertex components so the pool engages
+		parts := make([]gen.Instance, 64)
+		for i := range parts {
+			parts[i] = gen.Instance{G: gh, F: rep}
+		}
+		g, fam := gen.DisjointUnion(parts...)
+		add("large/multi-cycle/C=64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cg := conflict.FromFamily(g, fam)
+				if chi := cg.ChromaticNumber(); chi < 3 {
+					b.Fatalf("χ=%d", chi)
+				}
+			}
+		})
+	}
+
+	// Large 3: all-to-all batch routing through one reusable Router.
+	{
+		g := gen.LayeredDAG(8, 25, 0.15, 77)
+		r := route.NewRouter(g)
+		reqs := r.AllToAll()
+		add(fmt.Sprintf("large/all-to-all-routing/n=%d-reqs=%d", g.NumVertices(), len(reqs)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.ShortestPaths(reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	return benches
+}

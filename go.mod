@@ -1,0 +1,3 @@
+module wavedag
+
+go 1.21

@@ -16,18 +16,47 @@ func (g *Graph) ValidateColoring(colors []int) error {
 			return fmt.Errorf("conflict: vertex %d uncolored (color %d)", v, c)
 		}
 	}
-	for u := 0; u < g.n; u++ {
-		for v := u + 1; v < g.n; v++ {
-			if g.rows[u].get(v) && colors[u] == colors[v] {
-				return fmt.Errorf("conflict: adjacent vertices %d and %d share color %d", u, v, colors[u])
+	var bad error
+	for u := 0; u < g.n && bad == nil; u++ {
+		uu := u
+		g.rows[u].forEach(func(v int) {
+			if v > uu && bad == nil && colors[uu] == colors[v] {
+				bad = fmt.Errorf("conflict: adjacent vertices %d and %d share color %d", uu, v, colors[uu])
 			}
-		}
+		})
 	}
-	return nil
+	return bad
 }
 
-// CountColors returns the number of distinct colors in a coloring.
+// CountColors returns the number of distinct colors in a coloring. The
+// common case — dense non-negative palettes — is counted with a slice;
+// arbitrary integers fall back to a map.
 func CountColors(colors []int) int {
+	if len(colors) == 0 {
+		return 0
+	}
+	minC, maxC := colors[0], colors[0]
+	for _, c := range colors {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// span > 0 also rejects int overflow of maxC-minC (a wrapped diff is
+	// always ≤ 0 after +1), steering extreme palettes to the map path.
+	if span := maxC - minC + 1; span > 0 && span <= 4*len(colors)+64 {
+		seen := make([]bool, span)
+		count := 0
+		for _, c := range colors {
+			if !seen[c-minC] {
+				seen[c-minC] = true
+				count++
+			}
+		}
+		return count
+	}
 	seen := make(map[int]bool, len(colors))
 	for _, c := range colors {
 		seen[c] = true
@@ -37,7 +66,8 @@ func CountColors(colors []int) int {
 
 // GreedyColoring colors the vertices first-fit in the given order (the
 // identity order when order is nil) and returns the color classes as a
-// slice parallel to the vertices.
+// slice parallel to the vertices. The feasibility scratch is reset via a
+// touched-list, so each vertex costs O(deg) rather than O(n).
 func (g *Graph) GreedyColoring(order []int) []int {
 	if order == nil {
 		order = make([]int, g.n)
@@ -50,36 +80,62 @@ func (g *Graph) GreedyColoring(order []int) []int {
 		colors[i] = -1
 	}
 	used := make([]bool, g.n+1)
+	touched := make([]int, 0, 64)
 	for _, v := range order {
-		for i := range used {
-			used[i] = false
-		}
-		for _, u := range g.Neighbors(v) {
-			if colors[u] >= 0 {
-				used[colors[u]] = true
+		touched = touched[:0]
+		g.rows[v].forEach(func(u int) {
+			if c := colors[u]; c >= 0 && !used[c] {
+				used[c] = true
+				touched = append(touched, c)
 			}
-		}
+		})
 		c := 0
 		for used[c] {
 			c++
 		}
 		colors[v] = c
+		for _, t := range touched {
+			used[t] = false
+		}
 	}
 	return colors
 }
 
 // DSATURColoring runs the DSATUR heuristic: repeatedly color the vertex
 // with the largest color-saturation (ties: largest degree, then smallest
-// id) with the smallest feasible color.
+// id) with the smallest feasible color. Saturation never crosses a
+// component boundary, so the global run restricted to a component equals
+// the run on that component alone — the heuristic is therefore sharded
+// through Components like the exact solvers (identical output, quadratic
+// selection cost paid per component instead of globally).
 func (g *Graph) DSATURColoring() []int {
+	comps := g.Components()
+	if len(comps) <= 1 {
+		return g.dsaturConnected()
+	}
+	results := solveComponents(g, comps, func(sub *Graph) []int {
+		return sub.dsaturConnected()
+	})
+	colors := make([]int, g.n)
+	for ci, comp := range comps {
+		for i, v := range comp {
+			colors[v] = results[ci][i]
+		}
+	}
+	return colors
+}
+
+func (g *Graph) dsaturConnected() []int {
 	colors := make([]int, g.n)
 	for i := range colors {
 		colors[i] = -1
 	}
 	satRows := make([]row, g.n) // bit c set = neighbor colored c
 	satCount := make([]int, g.n)
+	words := (g.n + 64) / 64        // room for colors 0..g.n
+	backing := make(row, g.n*words) // one backing array for all saturation rows
 	for i := range satRows {
-		satRows[i] = newRow(g.n + 1)
+		satRows[i] = backing[i*words : (i+1)*words]
 	}
 	for done := 0; done < g.n; done++ {
 		best, bestSat, bestDeg := -1, -1, -1
@@ -96,87 +152,254 @@ func (g *Graph) DSATURColoring() []int {
 			c++
 		}
 		colors[best] = c
-		for _, u := range g.Neighbors(best) {
+		g.rows[best].forEach(func(u int) {
 			if colors[u] < 0 && !satRows[u].get(c) {
 				satRows[u].set(c)
 				satCount[u]++
 			}
-		}
+		})
 	}
 	return colors
 }
 
 // MaxClique returns a maximum clique of g (exact, branch-and-bound with a
-// greedy-coloring upper bound in the style of Tomita's MCQ). Intended for
-// the instance sizes of the experiments (hundreds of vertices when sparse).
+// greedy-coloring upper bound in the style of Tomita's MCQ). The graph is
+// decomposed into connected components first — ω of a disjoint union is
+// the max over components — and the searches share one solver state:
+// components are visited largest first, and any component no larger than
+// the best clique found so far is skipped outright.
 func (g *Graph) MaxClique() []int {
 	if g.n == 0 {
 		return nil
 	}
-	// Order vertices by decreasing degree for better early bounds.
-	order := make([]int, g.n)
-	for i := range order {
-		order[i] = i
+	comps := g.Components()
+	if len(comps) == 1 {
+		return g.maxCliqueConnected()
 	}
-	sort.Slice(order, func(i, j int) bool { return g.deg[order[i]] > g.deg[order[j]] })
-
-	best := []int{order[0]}
-	var cur []int
-
-	var expand func(cand []int)
-	expand = func(cand []int) {
-		if len(cand) == 0 {
-			if len(cur) > len(best) {
-				best = append(best[:0:0], cur...)
-			}
-			return
-		}
-		// Greedy coloring of cand gives an upper bound: a clique can take
-		// at most one vertex per color class.
-		colorOf := make(map[int]int, len(cand))
-		numColors := 0
-		for _, v := range cand {
-			used := map[int]bool{}
-			for _, u := range cand {
-				if u == v {
-					break
-				}
-				if g.rows[v].get(u) {
-					used[colorOf[u]] = true
-				}
-			}
-			c := 0
-			for used[c] {
-				c++
-			}
-			colorOf[v] = c
-			if c+1 > numColors {
-				numColors = c + 1
-			}
-		}
-		// Visit candidates in decreasing color so pruning kicks in early.
-		sorted := append([]int(nil), cand...)
-		sort.Slice(sorted, func(i, j int) bool { return colorOf[sorted[i]] > colorOf[sorted[j]] })
-		for i, v := range sorted {
-			// Upper bound: remaining candidates can add at most
-			// colorOf[v]+1 vertices.
-			if len(cur)+colorOf[v]+1 <= len(best) {
-				return
-			}
-			var next []int
-			for _, u := range sorted[i+1:] {
-				if g.rows[v].get(u) {
-					next = append(next, u)
-				}
-			}
-			cur = append(cur, v)
-			expand(next)
-			cur = cur[:len(cur)-1]
+	s := newMCSolver(g)
+	// Largest components first: their cliques raise the size bound that
+	// lets smaller components be skipped without a search. Insertion sort
+	// avoids sort.Slice's reflection cost on the tiny common case.
+	bySize := make([]int, len(comps))
+	for i := range bySize {
+		bySize[i] = i
+	}
+	for i := 1; i < len(bySize); i++ {
+		for j := i; j > 0 && len(comps[bySize[j]]) > len(comps[bySize[j-1]]); j-- {
+			bySize[j], bySize[j-1] = bySize[j-1], bySize[j]
 		}
 	}
-	expand(order)
-	sort.Ints(best)
-	return best
+	for _, ci := range bySize {
+		s.searchComponent(comps[ci])
+	}
+	return s.clique()
+}
+
+// maxCliqueConnected is the exact search on the whole graph.
+func (g *Graph) maxCliqueConnected() []int {
+	n := g.n
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{0}
+	}
+	// Cliques and near-cliques (the Figure 1 staircase conflict graphs)
+	// are the worst case for the search but trivial to recognise.
+	if g.IsComplete() {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	s := newMCSolver(g)
+	s.search(nil)
+	return s.clique()
+}
+
+// mcFrame is the per-depth scratch of the clique search.
+type mcFrame struct {
+	rem, avail, uncolored, next row
+	verts, cols                 []int
+}
+
+// mcSolver holds the shared state of the Tomita-style maximum-clique
+// search: the degree-descending vertex permutation, the permuted
+// adjacency bitsets, and lazily grown per-depth scratch frames (the
+// recursion depth is bounded by the largest clique plus one, far below n
+// in practice). One solver serves many searches — in particular one per
+// connected component — so the expensive setup is paid once.
+type mcSolver struct {
+	g      *Graph
+	n      int
+	words  int
+	order  []int // permuted index -> vertex
+	pos    []int // vertex -> permuted index
+	adj    []row // permuted adjacency
+	frames []*mcFrame
+	cand0  row // scratch for the initial candidate set of a search
+	best   []int
+	cur    []int
+}
+
+func newMCSolver(g *Graph) *mcSolver {
+	n := g.n
+	s := &mcSolver{g: g, n: n, words: (n + 63) / 64}
+	// Renumber vertices by decreasing degree so the ascending bit-scan of
+	// the coloring visits high-degree vertices first (better early
+	// bounds). Counting sort: degrees are < n, and filling ascending ids
+	// per bucket breaks ties toward the smaller vertex.
+	bucketStart := make([]int, n+1)
+	for _, d := range g.deg {
+		bucketStart[d]++
+	}
+	acc := 0
+	for d := n; d >= 0; d-- {
+		c := bucketStart[d]
+		bucketStart[d] = acc
+		acc += c
+	}
+	s.order = make([]int, n)
+	s.pos = make([]int, n)
+	for v := 0; v < n; v++ {
+		i := bucketStart[g.deg[v]]
+		bucketStart[g.deg[v]]++
+		s.order[i] = v
+		s.pos[v] = i
+	}
+	adjBacking := make(row, n*s.words)
+	s.adj = make([]row, n)
+	for i := range s.adj {
+		s.adj[i] = adjBacking[i*s.words : (i+1)*s.words]
+	}
+	for v := 0; v < n; v++ {
+		pv := s.pos[v]
+		g.rows[v].forEach(func(u int) { s.adj[pv].set(s.pos[u]) })
+	}
+	s.cand0 = newRow(n)
+	s.cur = make([]int, 0, n)
+	return s
+}
+
+// clique returns the best clique found so far in original vertex ids.
+func (s *mcSolver) clique() []int {
+	clique := make([]int, len(s.best))
+	for i, pv := range s.best {
+		clique[i] = s.order[pv]
+	}
+	sort.Ints(clique)
+	return clique
+}
+
+// search explores the given candidate vertex set (nil = all vertices),
+// keeping any previously found best clique as the pruning bound.
+func (s *mcSolver) search(verts []int) {
+	s.cand0.zero()
+	if verts == nil {
+		for i := 0; i < s.n; i++ {
+			s.cand0.set(i)
+		}
+		if len(s.best) == 0 && s.n > 0 {
+			s.best = []int{0}
+		}
+	} else {
+		for _, v := range verts {
+			s.cand0.set(s.pos[v])
+		}
+		if len(s.best) == 0 && len(verts) > 0 {
+			s.best = []int{s.pos[verts[0]]}
+		}
+	}
+	s.expand(0, s.cand0)
+}
+
+// searchComponent searches one connected component, skipping it when it
+// cannot beat the best clique already found.
+func (s *mcSolver) searchComponent(comp []int) {
+	if len(s.best) == 0 {
+		s.best = []int{s.pos[comp[0]]}
+	}
+	if len(comp) <= len(s.best) {
+		return // ω(component) ≤ |component| ≤ current best
+	}
+	// A connected component whose vertices all have degree |comp|-1 is a
+	// complete subgraph: its clique is the component itself.
+	complete := true
+	for _, v := range comp {
+		if s.g.deg[v] != len(comp)-1 {
+			complete = false
+			break
+		}
+	}
+	if complete {
+		s.best = s.best[:0]
+		for _, v := range comp {
+			s.best = append(s.best, s.pos[v])
+		}
+		return
+	}
+	s.search(comp)
+}
+
+func (s *mcSolver) getFrame(d int) *mcFrame {
+	for len(s.frames) <= d {
+		backing := make(row, 4*s.words)
+		ints := make([]int, 2*s.n)
+		s.frames = append(s.frames, &mcFrame{
+			rem:       backing[:s.words],
+			avail:     backing[s.words : 2*s.words],
+			uncolored: backing[2*s.words : 3*s.words],
+			next:      backing[3*s.words : 4*s.words],
+			verts:     ints[:0:s.n],
+			cols:      ints[s.n : s.n : 2*s.n],
+		})
+	}
+	return s.frames[d]
+}
+
+func (s *mcSolver) expand(d int, cand row) {
+	if cand.empty() {
+		if len(s.cur) > len(s.best) {
+			s.best = append(s.best[:0:0], s.cur...)
+		}
+		return
+	}
+	f := s.getFrame(d)
+	// Greedy coloring of cand: peel off independent color classes.
+	f.verts = f.verts[:0]
+	f.cols = f.cols[:0]
+	f.uncolored.copyFrom(cand)
+	c := 0
+	for !f.uncolored.empty() {
+		f.avail.copyFrom(f.uncolored)
+		for {
+			v := f.avail.firstSet()
+			if v < 0 {
+				break
+			}
+			f.avail.clear(v)
+			f.uncolored.clear(v)
+			f.verts = append(f.verts, v)
+			f.cols = append(f.cols, c)
+			f.avail.subtractInto(f.avail, s.adj[v])
+		}
+		c++
+	}
+	// Visit candidates highest color first so the bound prunes early;
+	// f.rem tracks the not-yet-visited (lower-colored) candidates.
+	f.rem.copyFrom(cand)
+	for i := len(f.verts) - 1; i >= 0; i-- {
+		v := f.verts[i]
+		if len(s.cur)+f.cols[i]+1 <= len(s.best) {
+			return // all remaining candidates have smaller bounds
+		}
+		f.rem.clear(v)
+		f.next.intersectInto(f.rem, s.adj[v])
+		s.cur = append(s.cur, v)
+		s.expand(d+1, f.next)
+		s.cur = s.cur[:len(s.cur)-1]
+	}
 }
 
 // CliqueNumber returns ω(g).
@@ -186,31 +409,207 @@ func (g *Graph) CliqueNumber() int { return len(g.MaxClique()) }
 func (g *Graph) IndependenceNumber() int { return g.Complement().CliqueNumber() }
 
 // ChromaticNumber computes χ(g) exactly by iterative-deepening
-// branch-and-bound: it starts from the clique lower bound and the DSATUR
-// upper bound and searches for a k-coloring for each k in between.
-// Exponential in the worst case; intended for experiment-scale graphs.
+// branch-and-bound over connected components: it starts from the clique
+// lower bound and the DSATUR upper bound per component and searches for a
+// k-coloring for each k in between. Exponential in the worst case;
+// intended for experiment-scale graphs.
 func (g *Graph) ChromaticNumber() int {
 	colors, _ := g.OptimalColoring()
 	return CountColors(colors)
 }
 
-// OptimalColoring returns a coloring with exactly χ(g) colors.
+// OptimalColoring returns a coloring with exactly χ(g) colors. The graph
+// is solved one connected component at a time (χ of a disjoint union is
+// the max over components), with components dispatched to a bounded
+// worker pool when the decomposition is non-trivial; see Components.
 func (g *Graph) OptimalColoring() ([]int, error) {
 	if g.n == 0 {
 		return nil, nil
 	}
-	lower := g.CliqueNumber()
-	upperColors := g.DSATURColoring()
-	upper := CountColors(upperColors)
-	if lower == upper {
-		return upperColors, nil
+	comps := g.Components()
+	if len(comps) == 1 {
+		return g.optimalColoringConnected(), nil
 	}
-	for k := lower; k < upper; k++ {
-		if colors, ok := g.kColoring(k); ok {
-			return colors, nil
+	results := solveComponents(g, comps, func(sub *Graph) []int {
+		return sub.optimalColoringConnected()
+	})
+	colors := make([]int, g.n)
+	for ci, comp := range comps {
+		for i, v := range comp {
+			colors[v] = results[ci][i]
 		}
 	}
-	return upperColors, nil
+	return colors, nil
+}
+
+// optimalColoringConnected runs the branch-and-bound on g as a whole.
+func (g *Graph) optimalColoringConnected() []int {
+	if g.n == 0 {
+		return nil
+	}
+	lower := g.maxCliqueConnectedSize()
+	upperColors := g.dsaturConnected()
+	upper := CountColors(upperColors)
+	if lower == upper {
+		return upperColors
+	}
+	ws := newColorWS(g, upper)
+	for k := lower; k < upper; k++ {
+		if colors, ok := ws.kColoring(k); ok {
+			return colors
+		}
+	}
+	return upperColors
+}
+
+func (g *Graph) maxCliqueConnectedSize() int { return len(g.maxCliqueConnected()) }
+
+// colorWS is the reusable search workspace of the exact coloring
+// routines. It maintains, incrementally under assign/unassign, each
+// vertex's saturation bitset (colors used by colored neighbours) and the
+// per-(vertex,color) count of colored neighbours, so the DSATUR-style
+// most-constrained-vertex selection reads preexisting state instead of
+// allocating and recomputing a palette row per candidate per search node.
+type colorWS struct {
+	g        *Graph
+	k        int   // palette capacity the workspace was sized for
+	words    int   // words per saturation row
+	colors   []int // current assignment; -1 = uncolored
+	satRows  []row // satRows[v] bit c: some colored neighbour of v has color c
+	satCount []int // popcount of satRows[v]
+	nbrCount []int // nbrCount[v*k+c]: colored neighbours of v with color c
+}
+
+func newColorWS(g *Graph, k int) *colorWS {
+	if k < 1 {
+		k = 1
+	}
+	words := (k + 63) / 64
+	ws := &colorWS{
+		g:        g,
+		k:        k,
+		words:    words,
+		colors:   make([]int, g.n),
+		satRows:  make([]row, g.n),
+		satCount: make([]int, g.n),
+		nbrCount: make([]int, g.n*k),
+	}
+	backing := make(row, g.n*words)
+	for v := range ws.satRows {
+		ws.satRows[v] = backing[v*words : (v+1)*words]
+	}
+	for v := range ws.colors {
+		ws.colors[v] = -1
+	}
+	return ws
+}
+
+// reset returns the workspace to the all-uncolored state.
+func (ws *colorWS) reset() {
+	for v := range ws.colors {
+		ws.colors[v] = -1
+		ws.satCount[v] = 0
+		ws.satRows[v].zero()
+	}
+	for i := range ws.nbrCount {
+		ws.nbrCount[i] = 0
+	}
+}
+
+// assign colors v with c, updating neighbour saturation.
+func (ws *colorWS) assign(v, c int) {
+	ws.colors[v] = c
+	g, k := ws.g, ws.k
+	g.rows[v].forEach(func(u int) {
+		idx := u*k + c
+		ws.nbrCount[idx]++
+		if ws.nbrCount[idx] == 1 {
+			ws.satRows[u].set(c)
+			ws.satCount[u]++
+		}
+	})
+}
+
+// unassign removes v's color, updating neighbour saturation.
+func (ws *colorWS) unassign(v int) {
+	c := ws.colors[v]
+	ws.colors[v] = -1
+	g, k := ws.g, ws.k
+	g.rows[v].forEach(func(u int) {
+		idx := u*k + c
+		ws.nbrCount[idx]--
+		if ws.nbrCount[idx] == 0 {
+			ws.satRows[u].clear(c)
+			ws.satCount[u]--
+		}
+	})
+}
+
+// mostSaturated returns the uncolored vertex with maximum saturation,
+// ties broken by degree then smallest id; -1 when everything is colored.
+func (ws *colorWS) mostSaturated() int {
+	g := ws.g
+	best, bestSat, bestDeg := -1, -1, -1
+	for v := 0; v < g.n; v++ {
+		if ws.colors[v] >= 0 {
+			continue
+		}
+		if ws.satCount[v] > bestSat || (ws.satCount[v] == bestSat && g.deg[v] > bestDeg) {
+			best, bestSat, bestDeg = v, ws.satCount[v], g.deg[v]
+		}
+	}
+	return best
+}
+
+// kColoring searches for a proper coloring with at most k colors using
+// DSATUR-ordered backtracking with symmetry breaking (a vertex may use at
+// most one brand-new color). Requires k <= the capacity the workspace was
+// built with.
+func (ws *colorWS) kColoring(k int) ([]int, bool) {
+	if k > ws.k {
+		return nil, false
+	}
+	ws.reset()
+	g := ws.g
+	var assign func(done, maxUsed int) bool
+	assign = func(done, maxUsed int) bool {
+		if done == g.n {
+			return true
+		}
+		best := ws.mostSaturated()
+		if ws.satCount[best] >= k {
+			return false // saturated vertex has no color left
+		}
+		limit := maxUsed + 1 // symmetry breaking: at most one new color
+		if limit > k {
+			limit = k
+		}
+		sat := ws.satRows[best]
+		for c := 0; c < limit; c++ {
+			if sat.get(c) {
+				continue
+			}
+			ws.assign(best, c)
+			nextMax := maxUsed
+			if c == maxUsed {
+				nextMax++
+			}
+			if assign(done+1, nextMax) {
+				return true
+			}
+			ws.unassign(best)
+		}
+		return false
+	}
+	if assign(0, 0) {
+		return append([]int(nil), ws.colors...), true
+	}
+	return nil, false
+}
+
+// kColoring searches for a proper coloring of g with at most k colors.
+func (g *Graph) kColoring(k int) ([]int, bool) {
+	return newColorWS(g, k).kColoring(k)
 }
 
 // CompleteColoring extends a partial coloring (-1 marks uncolored
@@ -219,25 +618,23 @@ func (g *Graph) OptimalColoring() ([]int, error) {
 // the completed coloring, or ok=false when none was found within the cap
 // (which does not prove infeasibility).
 func (g *Graph) CompleteColoring(partial []int, k int) ([]int, bool) {
-	if len(partial) != g.n {
+	if len(partial) != g.n || k < 0 {
 		return nil, false
 	}
-	colors := append([]int(nil), partial...)
+	ws := newColorWS(g, k)
 	uncolored := 0
-	for v, c := range colors {
+	for v, c := range partial {
 		if c >= k {
 			return nil, false // fixed color out of palette
 		}
 		if c < 0 {
-			colors[v] = -1
 			uncolored++
-		} else {
-			for _, u := range g.Neighbors(v) {
-				if colors[u] == colors[v] && u != v && partial[u] >= 0 {
-					return nil, false // fixed part already improper
-				}
-			}
+			continue
 		}
+		if ws.satRows[v].get(c) {
+			return nil, false // fixed part already improper
+		}
+		ws.assign(v, c)
 	}
 	var nodes int
 	const nodeCap = 2000000
@@ -249,100 +646,25 @@ func (g *Graph) CompleteColoring(partial []int, k int) ([]int, bool) {
 		if nodes++; nodes > nodeCap {
 			return false
 		}
-		// DSATUR MRV: most saturated uncolored vertex, ties by degree.
-		best, bestSat, bestDeg := -1, -1, -1
-		var bestUsed row
-		for v := 0; v < g.n; v++ {
-			if colors[v] >= 0 {
-				continue
-			}
-			used := newRow(k)
-			sat := 0
-			for _, u := range g.Neighbors(v) {
-				if c := colors[u]; c >= 0 && !used.get(c) {
-					used.set(c)
-					sat++
-				}
-			}
-			if sat > bestSat || (sat == bestSat && g.deg[v] > bestDeg) {
-				best, bestSat, bestDeg, bestUsed = v, sat, g.deg[v], used
-			}
-		}
-		if bestSat >= k {
+		best := ws.mostSaturated()
+		if ws.satCount[best] >= k {
 			return false // saturated vertex has no color left
 		}
+		sat := ws.satRows[best]
 		for c := 0; c < k; c++ {
-			if bestUsed.get(c) {
+			if sat.get(c) {
 				continue
 			}
-			colors[best] = c
+			ws.assign(best, c)
 			if assign(left - 1) {
 				return true
 			}
-			colors[best] = -1
+			ws.unassign(best)
 		}
 		return false
 	}
 	if !assign(uncolored) {
 		return nil, false
 	}
-	return colors, true
-}
-
-// kColoring searches for a proper coloring with at most k colors using
-// DSATUR-ordered backtracking with symmetry breaking (a vertex may use at
-// most one brand-new color).
-func (g *Graph) kColoring(k int) ([]int, bool) {
-	colors := make([]int, g.n)
-	for i := range colors {
-		colors[i] = -1
-	}
-	var assign func(done, maxUsed int) bool
-	assign = func(done, maxUsed int) bool {
-		if done == g.n {
-			return true
-		}
-		// DSATUR choice: most saturated uncolored vertex.
-		best, bestSat, bestDeg := -1, -1, -1
-		var bestUsed row
-		for v := 0; v < g.n; v++ {
-			if colors[v] >= 0 {
-				continue
-			}
-			used := newRow(k)
-			sat := 0
-			for _, u := range g.Neighbors(v) {
-				if colors[u] >= 0 && !used.get(colors[u]) {
-					used.set(colors[u])
-					sat++
-				}
-			}
-			if sat > bestSat || (sat == bestSat && g.deg[v] > bestDeg) {
-				best, bestSat, bestDeg, bestUsed = v, sat, g.deg[v], used
-			}
-		}
-		limit := maxUsed + 1 // symmetry breaking: at most one new color
-		if limit > k {
-			limit = k
-		}
-		for c := 0; c < limit; c++ {
-			if bestUsed.get(c) {
-				continue
-			}
-			colors[best] = c
-			nextMax := maxUsed
-			if c == maxUsed {
-				nextMax++
-			}
-			if assign(done+1, nextMax) {
-				return true
-			}
-			colors[best] = -1
-		}
-		return false
-	}
-	if assign(0, 0) {
-		return colors, true
-	}
-	return nil, false
+	return append([]int(nil), ws.colors...), true
 }

@@ -1,0 +1,176 @@
+package conflict
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Components returns the connected components of g as sorted vertex
+// lists, ordered by their smallest vertex. Conflict graphs of disjoint
+// workloads (multi-cycle unions, replicated instances, batched requests)
+// decompose naturally, and χ and ω of a disjoint union are the maxima
+// over components — so the exponential solvers of this package run
+// per-component on much smaller subproblems (see OptimalColoring and
+// MaxClique).
+func (g *Graph) Components() [][]int {
+	if g.n == 0 {
+		return nil
+	}
+	label := make([]int, g.n)
+	for i := range label {
+		label[i] = -1
+	}
+	queue := make([]int, 0, g.n)
+	ncomp := 0
+	for s := 0; s < g.n; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		label[s] = ncomp
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			g.rows[queue[head]].forEach(func(u int) {
+				if label[u] < 0 {
+					label[u] = ncomp
+					queue = append(queue, u)
+				}
+			})
+		}
+		ncomp++
+	}
+	// Carve the per-component lists out of one backing array; filling by
+	// ascending vertex id leaves every list sorted.
+	sizes := make([]int, ncomp)
+	for _, l := range label {
+		sizes[l]++
+	}
+	backing := make([]int, g.n)
+	comps := make([][]int, ncomp)
+	offset := 0
+	for c := 0; c < ncomp; c++ {
+		comps[c] = backing[offset : offset : offset+sizes[c]]
+		offset += sizes[c]
+	}
+	for v := 0; v < g.n; v++ {
+		comps[label[v]] = append(comps[label[v]], v)
+	}
+	return comps
+}
+
+// Subgraph returns the subgraph induced by verts (which must be sorted
+// and duplicate-free); vertex i of the result corresponds to verts[i].
+func (g *Graph) Subgraph(verts []int) *Graph {
+	pos := make([]int, g.n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return g.buildInduced(verts, pos)
+}
+
+// componentSubgraph extracts the induced subgraph of one connected
+// component using a shared position array without re-initialising it
+// (valid because adjacency never crosses components, so stale entries
+// for other components are never read). This keeps the per-component
+// extraction of solveComponents O(component), not O(n).
+func (g *Graph) componentSubgraph(comp []int, pos []int) *Graph {
+	return g.buildInduced(comp, pos)
+}
+
+// buildInduced fills the induced subgraph of verts. pos is the
+// vertex-to-index map; the caller guarantees that for every vertex u
+// adjacent to a member of verts, pos[u] is either u's index in verts or
+// negative. Members' entries are (re)written here.
+func (g *Graph) buildInduced(verts []int, pos []int) *Graph {
+	for i, v := range verts {
+		pos[v] = i
+	}
+	sub := NewGraph(len(verts))
+	for i, v := range verts {
+		g.rows[v].forEach(func(u int) {
+			if j := pos[u]; j > i {
+				sub.rows[i].set(j)
+				sub.rows[j].set(i)
+				sub.deg[i]++
+				sub.deg[j]++
+			}
+		})
+	}
+	return sub
+}
+
+// parallelThreshold gates the worker pool: below this many vertices in
+// the largest component the goroutine overhead outweighs the solve.
+const parallelThreshold = 16
+
+// parallelWorkers bounds the component worker pool. It is a variable
+// only so tests can force the concurrent path on single-CPU machines.
+var parallelWorkers = runtime.NumCPU()
+
+// Shared answers for trivial components: [0] / [0,1] is simultaneously
+// the maximum clique, the optimal coloring and the DSATUR coloring of K1
+// and K2 (a connected 2-vertex component is always an edge), in local
+// vertex indices. Callers must not mutate the returned slices.
+var (
+	trivialK1 = []int{0}
+	trivialK2 = []int{0, 1}
+)
+
+// solveComponents runs solve on the induced subgraph of every nontrivial
+// component, in parallel on a runtime.NumCPU()-bounded worker pool when
+// the work warrants it, and returns the per-component results in
+// component order (so results are deterministic regardless of
+// scheduling). Components of at most two vertices are answered inline —
+// their clique and coloring are the identity — without building a
+// subgraph. Results are in component-local vertex indices.
+func solveComponents(g *Graph, comps [][]int, solve func(sub *Graph) []int) [][]int {
+	results := make([][]int, len(comps))
+	// Extraction is cheap and sequential (it shares one position array);
+	// only the solves are dispatched to the pool.
+	pos := make([]int, g.n)
+	subs := make([]*Graph, len(comps))
+	largest := 0
+	for ci, comp := range comps {
+		switch len(comp) {
+		case 1:
+			results[ci] = trivialK1
+		case 2:
+			results[ci] = trivialK2
+		default:
+			subs[ci] = g.componentSubgraph(comp, pos)
+			if len(comp) > largest {
+				largest = len(comp)
+			}
+		}
+	}
+	workers := parallelWorkers
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	if workers <= 1 || largest < parallelThreshold {
+		for ci := range comps {
+			if subs[ci] != nil {
+				results[ci] = solve(subs[ci])
+			}
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range work {
+				results[ci] = solve(subs[ci])
+			}
+		}()
+	}
+	for ci := range comps {
+		if subs[ci] != nil {
+			work <- ci
+		}
+	}
+	close(work)
+	wg.Wait()
+	return results
+}

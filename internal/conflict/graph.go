@@ -14,6 +14,7 @@ package conflict
 
 import (
 	"fmt"
+	"math/bits"
 
 	"wavedag/internal/digraph"
 	"wavedag/internal/dipath"
@@ -37,11 +38,81 @@ func (r row) set(i int)      { r[i/64] |= 1 << (uint(i) % 64) }
 func (r row) clear(i int)    { r[i/64] &^= 1 << (uint(i) % 64) }
 func (r row) get(i int) bool { return r[i/64]&(1<<(uint(i)%64)) != 0 }
 
-// NewGraph returns an edgeless undirected graph with n vertices.
+// copyFrom overwrites r with src; the rows must have equal length.
+func (r row) copyFrom(src row) { copy(r, src) }
+
+// intersectInto sets r = a ∧ b.
+func (r row) intersectInto(a, b row) {
+	for w := range r {
+		r[w] = a[w] & b[w]
+	}
+}
+
+// subtractInto sets r = a &^ b (a minus b).
+func (r row) subtractInto(a, b row) {
+	for w := range r {
+		r[w] = a[w] &^ b[w]
+	}
+}
+
+// zero clears every bit.
+func (r row) zero() {
+	for w := range r {
+		r[w] = 0
+	}
+}
+
+// empty reports whether no bit is set.
+func (r row) empty() bool {
+	for _, w := range r {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// popcount returns the number of set bits.
+func (r row) popcount() int {
+	total := 0
+	for _, w := range r {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// firstSet returns the index of the lowest set bit, or -1 when empty.
+func (r row) firstSet() int {
+	for wi, w := range r {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// forEach calls f on every set bit index in increasing order. It is the
+// allocation-free replacement for materialising neighbour slices in the
+// solvers' inner loops.
+func (r row) forEach(f func(i int)) {
+	for wi, w := range r {
+		base := wi * 64
+		for w != 0 {
+			f(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// NewGraph returns an edgeless undirected graph with n vertices. All
+// adjacency rows share one backing array, so construction costs three
+// allocations regardless of n.
 func NewGraph(n int) *Graph {
 	g := &Graph{n: n, rows: make([]row, n), deg: make([]int, n)}
+	words := (n + 63) / 64
+	backing := make(row, n*words)
 	for i := range g.rows {
-		g.rows[i] = newRow(n)
+		g.rows[i] = backing[i*words : (i+1)*words]
 	}
 	return g
 }
@@ -88,15 +159,19 @@ func (g *Graph) NumEdges() int {
 	return total / 2
 }
 
-// Neighbors returns the neighbours of v in increasing order.
+// Neighbors returns the neighbours of v in increasing order. It allocates
+// a fresh slice per call; hot paths should prefer ForEachNeighbor.
 func (g *Graph) Neighbors(v int) []int {
-	var ns []int
-	for u := 0; u < g.n; u++ {
-		if g.rows[v].get(u) {
-			ns = append(ns, u)
-		}
-	}
+	ns := make([]int, 0, g.deg[v])
+	g.rows[v].forEach(func(u int) { ns = append(ns, u) })
 	return ns
+}
+
+// ForEachNeighbor calls f on every neighbour of v in increasing order
+// without allocating. It is the iteration primitive of every solver in
+// this package.
+func (g *Graph) ForEachNeighbor(v int, f func(u int)) {
+	g.rows[v].forEach(f)
 }
 
 // Complement returns the complement graph.
@@ -121,11 +196,23 @@ func FromFamily(g *digraph.Digraph, f dipath.Family) *Graph {
 	// Bucket paths by arc so construction is output-sensitive rather than
 	// all-pairs-times-length.
 	inc := dipath.ArcIncidence(g, f)
-	for _, paths := range inc {
+	for a, paths := range inc {
 		for i := 0; i < len(paths); i++ {
+			pi := paths[i]
 			for j := i + 1; j < len(paths); j++ {
-				if err := cg.AddEdge(paths[i], paths[j]); err != nil {
-					panic(err) // indices come from the family; cannot fail
+				// Inlined AddEdge (this pairwise loop is the construction
+				// hot path): indices come from the family, so only the
+				// self-loop guard can fire — a dipath listed twice on one
+				// arc, which AddEdge used to reject loudly.
+				pj := paths[j]
+				if pi == pj {
+					panic(fmt.Sprintf("conflict: dipath %d traverses arc %d twice", pi, a))
+				}
+				if !cg.rows[pi].get(pj) {
+					cg.rows[pi].set(pj)
+					cg.rows[pj].set(pi)
+					cg.deg[pi]++
+					cg.deg[pj]++
 				}
 			}
 		}
@@ -146,19 +233,19 @@ func (g *Graph) IsCycle() bool {
 	}
 	// Connectivity: walk from 0.
 	seen := make([]bool, g.n)
-	stack := []int{0}
+	stack := make([]int, 1, g.n)
 	seen[0] = true
 	count := 1
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, u := range g.Neighbors(v) {
+		g.rows[v].forEach(func(u int) {
 			if !seen[u] {
 				seen[u] = true
 				count++
 				stack = append(stack, u)
 			}
-		}
+		})
 	}
 	return count == g.n
 }

@@ -84,7 +84,22 @@ type peelState struct {
 	// scratch marks for chain flips, reset per chain via generation counter.
 	flipGen  []int
 	chainGen int
+	// Generation-stamped color marks shared by findDuplicate,
+	// colorUnusedBy and insertArc — the zero-allocation replacement for
+	// the per-call map[int]bool palettes these used to build. colorGen[c]
+	// is valid when it equals colorMark; colorBy[c] is the path that
+	// marked c this generation.
+	colorGen  []int
+	colorBy   []int
+	colorMark int
 }
+
+// markColors starts a fresh color-marking generation.
+func (st *peelState) markColors() { st.colorMark++ }
+
+func (st *peelState) markColor(c, p int) { st.colorGen[c] = st.colorMark; st.colorBy[c] = p }
+
+func (st *peelState) colorMarked(c int) bool { return st.colorGen[c] == st.colorMark }
 
 func newPeelState(g *digraph.Digraph, fam dipath.Family) (*peelState, error) {
 	peel, err := dag.ArcPeelingOrder(g)
@@ -101,6 +116,20 @@ func newPeelState(g *digraph.Digraph, fam dipath.Family) (*peelState, error) {
 		start:         make([]int, len(fam)),
 		colors:        make([]int, len(fam)),
 		flipGen:       make([]int, len(fam)),
+		colorGen:      make([]int, len(fam)+1),
+		colorBy:       make([]int, len(fam)+1),
+	}
+	// active[a] fills up to the arc's full incidence list; carve the
+	// per-arc slices out of one exactly-sized backing array.
+	total := 0
+	for _, paths := range st.pathsOnArcAll {
+		total += len(paths)
+	}
+	activeBacking := make([]int, total)
+	offset := 0
+	for a, paths := range st.pathsOnArcAll {
+		st.active[a] = activeBacking[offset : offset : offset+len(paths)]
+		offset += len(paths)
 	}
 	for i, a := range peel {
 		st.peelPos[a] = i
@@ -155,9 +184,9 @@ func (st *peelState) insertArc(e digraph.ArcID) error {
 	}
 	// Extend: every dipath of Q0 now starts at e; dead ones need fresh
 	// colors distinct from the alive ones and from each other.
-	usedByQ0 := make(map[int]bool, len(alive))
+	st.markColors()
 	for _, p := range alive {
-		usedByQ0[st.colors[p]] = true
+		st.markColor(st.colors[p], p)
 	}
 	next := 0
 	for _, p := range q0 {
@@ -170,39 +199,39 @@ func (st *peelState) insertArc(e digraph.ArcID) error {
 		if st.colors[p] >= 0 {
 			continue // alive suffix keeps its color
 		}
-		for next < st.palette && usedByQ0[next] {
+		for next < st.palette && st.colorMarked(next) {
 			next++
 		}
 		if next >= st.palette {
 			return fmt.Errorf("core: internal error: palette %d exhausted at arc %d", st.palette, e)
 		}
 		st.colors[p] = next
-		usedByQ0[next] = true
+		st.markColor(next, p)
 	}
 	return nil
 }
 
 // findDuplicate returns two distinct paths of the set sharing a color.
 func (st *peelState) findDuplicate(paths []int) (int, int, bool) {
-	seen := make(map[int]int, len(paths))
+	st.markColors()
 	for _, p := range paths {
 		c := st.colors[p]
-		if q, dup := seen[c]; dup {
-			return q, p, true
+		if st.colorMarked(c) {
+			return st.colorBy[c], p, true
 		}
-		seen[c] = p
+		st.markColor(c, p)
 	}
 	return -1, -1, false
 }
 
 // colorUnusedBy returns a palette color not used by any path of the set.
 func (st *peelState) colorUnusedBy(paths []int) (int, error) {
-	used := make(map[int]bool, len(paths))
+	st.markColors()
 	for _, p := range paths {
-		used[st.colors[p]] = true
+		st.markColor(st.colors[p], p)
 	}
 	for c := 0; c < st.palette; c++ {
-		if !used[c] {
+		if !st.colorMarked(c) {
 			return c, nil
 		}
 	}

@@ -70,7 +70,10 @@ func ColorOneInternalCycleUPP(g *digraph.Digraph, fam dipath.Family) (*Result, e
 		return nil, fmt.Errorf("core: two dipaths from %d to %d: %w", u, v, ErrNotUPP)
 	}
 
-	pi := load.Pi(g, fam)
+	// One incremental tracker answers both load questions (π and the
+	// most-loaded cycle arc) in a single pass over the family.
+	tracker := load.NewTrackerFromFamily(g, fam)
+	pi := tracker.Pi()
 	if pi == 0 {
 		colors := make([]int, len(fam))
 		return newResult(colors, 0), nil
@@ -80,7 +83,7 @@ func ColorOneInternalCycleUPP(g *digraph.Digraph, fam dipath.Family) (*Result, e
 	if !ok {
 		return nil, fmt.Errorf("core: internal error: cycle count 1 but no cycle found")
 	}
-	abArc, abLoad, err := load.MaxLoadedArcAmong(g, fam, cyc.ArcIDs())
+	abArc, abLoad, err := tracker.MaxAmong(cyc.ArcIDs())
 	if err != nil {
 		return nil, err
 	}

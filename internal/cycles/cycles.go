@@ -56,16 +56,26 @@ func HasInternalCycle(g *digraph.Digraph) bool {
 // of the underlying undirected multigraph of the internal sub-digraph:
 // the number of independent internal cycles. Theorem 6 of the paper
 // applies to UPP-DAGs whose count is exactly 1.
+//
+// The count (arcs - vertices + components, all restricted to internal
+// vertices) is computed in place — this sits on the dispatch path of
+// every coloring call, so it must not build the induced subgraph.
 func IndependentCycleCount(g *digraph.Digraph) int {
-	sub, _, _ := internalSubgraph(g)
-	n := sub.NumVertices()
-	if n == 0 {
-		return 0
-	}
-	// Union-find to count components of the underlying multigraph.
+	n := g.NumVertices()
+	// parent[v] = union-find parent for internal v, -1 for non-internal.
 	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = i
+	m := 0
+	for v := 0; v < n; v++ {
+		u := digraph.Vertex(v)
+		if g.InDegree(u) > 0 && g.OutDegree(u) > 0 {
+			parent[v] = v
+			m++
+		} else {
+			parent[v] = -1
+		}
+	}
+	if m == 0 {
+		return 0
 	}
 	var find func(int) int
 	find = func(x int) int {
@@ -75,15 +85,21 @@ func IndependentCycleCount(g *digraph.Digraph) int {
 		}
 		return x
 	}
-	comps := n
-	for _, a := range sub.Arcs() {
-		ra, rb := find(int(a.Tail)), find(int(a.Head))
+	comps := m
+	arcs := 0
+	for a := 0; a < g.NumArcs(); a++ {
+		arc := g.Arc(digraph.ArcID(a))
+		if parent[arc.Tail] < 0 || parent[arc.Head] < 0 {
+			continue
+		}
+		arcs++
+		ra, rb := find(int(arc.Tail)), find(int(arc.Head))
 		if ra != rb {
 			parent[ra] = rb
 			comps--
 		}
 	}
-	return sub.NumArcs() - n + comps
+	return arcs - m + comps
 }
 
 // Step is one arc of an oriented cycle, with its direction of traversal:

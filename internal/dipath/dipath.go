@@ -296,9 +296,25 @@ func (f Family) Replicate(h int) Family {
 }
 
 // ArcIncidence returns, for each arc of g, the indices of the family
-// members traversing it.
+// members traversing it. The per-arc lists share one exactly-sized
+// backing array (built CSR-style in two passes), so the whole structure
+// costs three allocations however large the family.
 func ArcIncidence(g *digraph.Digraph, f Family) [][]int {
+	counts := make([]int, g.NumArcs())
+	total := 0
+	for _, p := range f {
+		for _, a := range p.Arcs() {
+			counts[a]++
+			total++
+		}
+	}
+	backing := make([]int, total)
 	inc := make([][]int, g.NumArcs())
+	offset := 0
+	for a := range inc {
+		inc[a] = backing[offset : offset : offset+counts[a]]
+		offset += counts[a]
+	}
 	for i, p := range f {
 		for _, a := range p.Arcs() {
 			inc[a] = append(inc[a], i)

@@ -35,14 +35,14 @@ func Feasible(g *digraph.Digraph, fam dipath.Family, sel []int, w int) (bool, er
 	if cycles.HasInternalCycle(g) {
 		return false, fmt.Errorf("groom: graph has an internal cycle; load ≤ w no longer implies satisfiability")
 	}
-	sub := make(dipath.Family, 0, len(sel))
+	t := load.NewTracker(g)
 	for _, i := range sel {
 		if i < 0 || i >= len(fam) {
 			return false, fmt.Errorf("groom: selection index %d out of range", i)
 		}
-		sub = append(sub, fam[i])
+		t.Add(fam[i])
 	}
-	return load.Pi(g, sub) <= w, nil
+	return t.Pi() <= w, nil
 }
 
 // MaxOnPath solves the problem exactly when g is a directed path graph
@@ -137,15 +137,12 @@ func Greedy(g *digraph.Digraph, fam dipath.Family, w int) []int {
 		}
 		return order[a] < order[b]
 	})
-	remaining := make([]int, g.NumArcs())
-	for a := range remaining {
-		remaining[a] = w
-	}
+	t := load.NewTracker(g)
 	var sel []int
 	for _, i := range order {
 		ok := true
 		for _, a := range fam[i].Arcs() {
-			if remaining[a] == 0 {
+			if t.Load(a) >= w {
 				ok = false
 				break
 			}
@@ -153,9 +150,7 @@ func Greedy(g *digraph.Digraph, fam dipath.Family, w int) []int {
 		if !ok {
 			continue
 		}
-		for _, a := range fam[i].Arcs() {
-			remaining[a]--
-		}
+		t.Add(fam[i])
 		sel = append(sel, i)
 	}
 	sort.Ints(sel)
@@ -169,10 +164,7 @@ func Greedy(g *digraph.Digraph, fam dipath.Family, w int) []int {
 // feasible and at least as large as Greedy's).
 func Exact(g *digraph.Digraph, fam dipath.Family, w int, nodeCap int) (sel []int, ok bool) {
 	best := Greedy(g, fam, w)
-	remaining := make([]int, g.NumArcs())
-	for a := range remaining {
-		remaining[a] = w
-	}
+	t := load.NewTracker(g)
 	// Order dipaths by length ascending — cheap ones first maximizes
 	// early lower bounds.
 	order := make([]int, len(fam))
@@ -204,23 +196,21 @@ func Exact(g *digraph.Digraph, fam dipath.Family, w int, nodeCap int) (sel []int
 		i := order[k]
 		fits := true
 		for _, a := range fam[i].Arcs() {
-			if remaining[a] == 0 {
+			if t.Load(a) >= w {
 				fits = false
 				break
 			}
 		}
 		if fits {
-			for _, a := range fam[i].Arcs() {
-				remaining[a]--
-			}
+			t.Add(fam[i])
 			cur = append(cur, i)
 			rec(k + 1)
 			cur = cur[:len(cur)-1]
-			for _, a := range fam[i].Arcs() {
-				remaining[a]++
-			}
+			t.Remove(fam[i])
+			rec(k + 1)
+		} else {
+			rec(k + 1)
 		}
-		rec(k + 1)
 	}
 	rec(0)
 	sort.Ints(best)

@@ -1,0 +1,107 @@
+package load
+
+import (
+	"fmt"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+)
+
+// Tracker maintains the arc-load vector of a mutable dipath collection
+// incrementally: adding or removing a dipath costs O(len(path)) instead
+// of the O(|family|·len) full recomputation of ArcLoads. Selection
+// searches (groom), split-arc choices (Theorem 6) and sequential routing
+// all hammer on "what is the load now?" after small mutations — the
+// Tracker is the shared answer.
+//
+// π (the maximum load) is maintained exactly on Add; Remove only marks it
+// stale, and the next Pi call rescans lazily. The zero value is not
+// usable; construct with NewTracker or NewTrackerFromFamily.
+type Tracker struct {
+	loads   []int
+	pi      int
+	piStale bool // a removal may have lowered the max
+	total   int  // number of tracked dipaths
+}
+
+// NewTracker returns an empty tracker for the arcs of g.
+func NewTracker(g *digraph.Digraph) *Tracker {
+	return &Tracker{loads: make([]int, g.NumArcs())}
+}
+
+// NewTrackerFromFamily returns a tracker preloaded with every dipath of f.
+func NewTrackerFromFamily(g *digraph.Digraph, f dipath.Family) *Tracker {
+	t := NewTracker(g)
+	for _, p := range f {
+		t.Add(p)
+	}
+	return t
+}
+
+// Add accounts one more traversal of every arc of p.
+func (t *Tracker) Add(p *dipath.Path) {
+	for _, a := range p.Arcs() {
+		t.loads[a]++
+		if t.loads[a] > t.pi {
+			t.pi = t.loads[a]
+		}
+	}
+	t.total++
+}
+
+// Remove un-accounts p; it must have been Added before (loads never go
+// negative — a mismatch panics, as it means the caller's bookkeeping is
+// broken and every later answer would be wrong).
+func (t *Tracker) Remove(p *dipath.Path) {
+	for _, a := range p.Arcs() {
+		if t.loads[a] == 0 {
+			panic(fmt.Sprintf("load: Remove of untracked path over arc %d", a))
+		}
+		if t.loads[a] == t.pi {
+			t.piStale = true
+		}
+		t.loads[a]--
+	}
+	t.total--
+}
+
+// Load returns the current load of arc a.
+func (t *Tracker) Load(a digraph.ArcID) int { return t.loads[a] }
+
+// NumPaths returns the number of dipaths currently tracked.
+func (t *Tracker) NumPaths() int { return t.total }
+
+// Pi returns the current maximum arc load.
+func (t *Tracker) Pi() int {
+	if t.piStale {
+		t.pi = 0
+		for _, l := range t.loads {
+			if l > t.pi {
+				t.pi = l
+			}
+		}
+		t.piStale = false
+	}
+	return t.pi
+}
+
+// Loads returns a copy of the current load vector.
+func (t *Tracker) Loads() []int { return append([]int(nil), t.loads...) }
+
+// MaxAmong returns the arc of maximum current load restricted to the
+// candidate set, breaking ties toward the smallest identifier.
+func (t *Tracker) MaxAmong(candidates []digraph.ArcID) (digraph.ArcID, int, error) {
+	if len(candidates) == 0 {
+		return -1, 0, fmt.Errorf("load: empty candidate set")
+	}
+	best, bestLoad := candidates[0], -1
+	for _, a := range candidates {
+		if a < 0 || int(a) >= len(t.loads) {
+			return -1, 0, fmt.Errorf("load: candidate arc %d out of range", a)
+		}
+		if t.loads[a] > bestLoad || (t.loads[a] == bestLoad && a < best) {
+			best, bestLoad = a, t.loads[a]
+		}
+	}
+	return best, bestLoad, nil
+}

@@ -1,0 +1,127 @@
+package load
+
+import (
+	"math/rand"
+	"testing"
+
+	"wavedag/internal/dipath"
+	"wavedag/internal/gen"
+)
+
+func TestTrackerMatchesArcLoads(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(20, 4, 4, 0.25, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := gen.RandomWalkFamily(g, 60, 7, 12)
+	tr := NewTrackerFromFamily(g, fam)
+	want := ArcLoads(g, fam)
+	got := tr.Loads()
+	for a := range want {
+		if got[a] != want[a] {
+			t.Fatalf("arc %d: tracker load %d, ArcLoads %d", a, got[a], want[a])
+		}
+	}
+	if tr.Pi() != Pi(g, fam) {
+		t.Fatalf("tracker π=%d, Pi=%d", tr.Pi(), Pi(g, fam))
+	}
+	if tr.NumPaths() != len(fam) {
+		t.Fatalf("tracker holds %d paths, want %d", tr.NumPaths(), len(fam))
+	}
+}
+
+func TestTrackerAddRemoveRoundTrip(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(15, 3, 3, 0.3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := gen.RandomWalkFamily(g, 40, 6, 22)
+	tr := NewTracker(g)
+	rng := rand.New(rand.NewSource(23))
+
+	// Random add/remove walk; after every step the tracker must agree
+	// with a recomputation from scratch over the current multiset.
+	var current dipath.Family
+	for step := 0; step < 200; step++ {
+		if len(current) == 0 || rng.Intn(2) == 0 {
+			p := fam[rng.Intn(len(fam))]
+			tr.Add(p)
+			current = append(current, p)
+		} else {
+			i := rng.Intn(len(current))
+			tr.Remove(current[i])
+			current[i] = current[len(current)-1]
+			current = current[:len(current)-1]
+		}
+		if tr.Pi() != Pi(g, current) {
+			t.Fatalf("step %d: tracker π=%d, recomputed %d", step, tr.Pi(), Pi(g, current))
+		}
+		if tr.NumPaths() != len(current) {
+			t.Fatalf("step %d: tracker count %d, want %d", step, tr.NumPaths(), len(current))
+		}
+	}
+	// Drain completely: loads must return to zero.
+	for _, p := range current {
+		tr.Remove(p)
+	}
+	for a, l := range tr.Loads() {
+		if l != 0 {
+			t.Fatalf("arc %d: residual load %d after drain", a, l)
+		}
+	}
+	if tr.Pi() != 0 {
+		t.Fatalf("π=%d after drain", tr.Pi())
+	}
+}
+
+func TestTrackerMaxAmongMatchesMaxLoadedArcAmong(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(18, 3, 3, 0.3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := gen.RandomWalkFamily(g, 50, 6, 32)
+	tr := NewTrackerFromFamily(g, fam)
+	candidates := g.SortedArcIDs()
+	if len(candidates) > 10 {
+		candidates = candidates[3:10]
+	}
+	wantArc, wantLoad, err := MaxLoadedArcAmong(g, fam, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotArc, gotLoad, err := tr.MaxAmong(candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotArc != wantArc || gotLoad != wantLoad {
+		t.Fatalf("MaxAmong = (%d,%d), MaxLoadedArcAmong = (%d,%d)", gotArc, gotLoad, wantArc, wantLoad)
+	}
+	if _, _, err := tr.MaxAmong(nil); err == nil {
+		t.Fatal("empty candidate set accepted")
+	}
+}
+
+func TestTrackerRemoveUntrackedPanics(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(10, 2, 2, 0.3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := gen.RandomWalkFamily(g, 5, 5, 42)
+	var withArcs *dipath.Path
+	for _, p := range fam {
+		if p.NumArcs() > 0 {
+			withArcs = p
+			break
+		}
+	}
+	if withArcs == nil {
+		t.Skip("no multi-arc path generated")
+	}
+	tr := NewTracker(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Remove of untracked path did not panic")
+		}
+	}()
+	tr.Remove(withArcs)
+}

@@ -6,6 +6,10 @@
 // and multicast routing (one origin, many destinations), for which the
 // literature cited by the paper ([2] Beauquier–Hell–Pérennes) shows
 // w = π always holds.
+//
+// Batch workloads should construct a Router, which preallocates and
+// reuses all search state across requests; the free functions below are
+// convenience wrappers that build a throwaway Router per call.
 package route
 
 import (
@@ -32,68 +36,13 @@ func (e ErrNoRoute) Error() string {
 // arcs (BFS). Among equally short routes the one exploring smaller arc
 // identifiers first wins, so results are deterministic.
 func ShortestPath(g *digraph.Digraph, src, dst digraph.Vertex) (*dipath.Path, error) {
-	n := g.NumVertices()
-	if src < 0 || dst < 0 || int(src) >= n || int(dst) >= n {
-		return nil, fmt.Errorf("route: vertex out of range")
-	}
-	if src == dst {
-		return dipath.FromVertices(g, src)
-	}
-	prevArc := make([]digraph.ArcID, n)
-	for i := range prevArc {
-		prevArc[i] = -1
-	}
-	queue := []digraph.Vertex{src}
-	visited := make([]bool, n)
-	visited[src] = true
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, a := range g.OutArcs(v) {
-			h := g.Arc(a).Head
-			if visited[h] {
-				continue
-			}
-			visited[h] = true
-			prevArc[h] = a
-			if h == dst {
-				return assemble(g, src, dst, prevArc)
-			}
-			queue = append(queue, h)
-		}
-	}
-	return nil, ErrNoRoute{Request{src, dst}}
-}
-
-func assemble(g *digraph.Digraph, src, dst digraph.Vertex, prevArc []digraph.ArcID) (*dipath.Path, error) {
-	var rev []digraph.ArcID
-	for v := dst; v != src; {
-		a := prevArc[v]
-		if a < 0 {
-			return nil, fmt.Errorf("route: internal error: broken predecessor chain")
-		}
-		rev = append(rev, a)
-		v = g.Arc(a).Tail
-	}
-	arcs := make([]digraph.ArcID, len(rev))
-	for i := range rev {
-		arcs[i] = rev[len(rev)-1-i]
-	}
-	return dipath.FromArcs(g, arcs...)
+	return NewRouter(g).ShortestPath(src, dst)
 }
 
 // ShortestPaths routes every request by shortest dipath; it fails on the
 // first unroutable request.
 func ShortestPaths(g *digraph.Digraph, reqs []Request) (dipath.Family, error) {
-	fam := make(dipath.Family, 0, len(reqs))
-	for _, r := range reqs {
-		p, err := ShortestPath(g, r.Src, r.Dst)
-		if err != nil {
-			return nil, err
-		}
-		fam = append(fam, p)
-	}
-	return fam, nil
+	return NewRouter(g).ShortestPaths(reqs)
 }
 
 // MinLoadSequential routes the requests one by one, each time choosing a
@@ -101,75 +50,7 @@ func ShortestPaths(g *digraph.Digraph, reqs []Request) (dipath.Family, error) {
 // count, then by deterministic arc order). It is the classic online
 // load-balancing heuristic for the routing phase of RWA.
 func MinLoadSequential(g *digraph.Digraph, reqs []Request) (dipath.Family, error) {
-	loads := make([]int, g.NumArcs())
-	fam := make(dipath.Family, 0, len(reqs))
-	for _, r := range reqs {
-		p, err := bottleneckPath(g, r, loads)
-		if err != nil {
-			return nil, err
-		}
-		for _, a := range p.Arcs() {
-			loads[a]++
-		}
-		fam = append(fam, p)
-	}
-	return fam, nil
-}
-
-// bottleneckPath finds a dipath src->dst minimising (max load along the
-// path, then hops) via lexicographic Dijkstra on a DAG-sized graph.
-func bottleneckPath(g *digraph.Digraph, r Request, loads []int) (*dipath.Path, error) {
-	n := g.NumVertices()
-	if r.Src < 0 || r.Dst < 0 || int(r.Src) >= n || int(r.Dst) >= n {
-		return nil, fmt.Errorf("route: vertex out of range")
-	}
-	if r.Src == r.Dst {
-		return dipath.FromVertices(g, r.Src)
-	}
-	const inf = int(^uint(0) >> 1)
-	bestLoad := make([]int, n)
-	bestHops := make([]int, n)
-	prevArc := make([]digraph.ArcID, n)
-	done := make([]bool, n)
-	for v := range bestLoad {
-		bestLoad[v], bestHops[v], prevArc[v] = inf, inf, -1
-	}
-	bestLoad[r.Src], bestHops[r.Src] = 0, 0
-	for {
-		// Extract the unfinished vertex with the lexicographically
-		// smallest (load, hops); linear scan is fine at these sizes.
-		u := digraph.Vertex(-1)
-		for v := 0; v < n; v++ {
-			if done[v] || bestLoad[v] == inf {
-				continue
-			}
-			if u < 0 || bestLoad[v] < bestLoad[u] ||
-				(bestLoad[v] == bestLoad[u] && bestHops[v] < bestHops[u]) {
-				u = digraph.Vertex(v)
-			}
-		}
-		if u < 0 {
-			return nil, ErrNoRoute{r}
-		}
-		if u == r.Dst {
-			return assemble(g, r.Src, r.Dst, prevArc)
-		}
-		done[u] = true
-		for _, a := range g.OutArcs(u) {
-			h := g.Arc(a).Head
-			if done[h] {
-				continue
-			}
-			nl := bestLoad[u]
-			if loads[a]+1 > nl {
-				nl = loads[a] + 1
-			}
-			nh := bestHops[u] + 1
-			if nl < bestLoad[h] || (nl == bestLoad[h] && nh < bestHops[h]) {
-				bestLoad[h], bestHops[h], prevArc[h] = nl, nh, a
-			}
-		}
-	}
+	return NewRouter(g).MinLoadSequential(reqs)
 }
 
 // UPPRoutes routes the requests on an UPP-DAG, where each request has at
@@ -197,70 +78,23 @@ func UPPRoutes(g *digraph.Digraph, reqs []Request) (dipath.Family, error) {
 // Theorem 1 applies: the multicast instance always satisfies w = π,
 // matching the known multicast result the paper cites ([2]).
 func Multicast(g *digraph.Digraph, origin digraph.Vertex, dests []digraph.Vertex) (dipath.Family, error) {
-	n := g.NumVertices()
-	if origin < 0 || int(origin) >= n {
-		return nil, fmt.Errorf("route: origin out of range")
-	}
-	prevArc := make([]digraph.ArcID, n)
-	for i := range prevArc {
-		prevArc[i] = -1
-	}
-	visited := make([]bool, n)
-	visited[origin] = true
-	queue := []digraph.Vertex{origin}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, a := range g.OutArcs(v) {
-			h := g.Arc(a).Head
-			if !visited[h] {
-				visited[h] = true
-				prevArc[h] = a
-				queue = append(queue, h)
-			}
-		}
-	}
-	fam := make(dipath.Family, 0, len(dests))
-	for _, d := range dests {
-		if d < 0 || int(d) >= n || (!visited[d] && d != origin) {
-			return nil, ErrNoRoute{Request{origin, d}}
-		}
-		p, err := assemble(g, origin, d, prevArc)
-		if d == origin {
-			p, err = dipath.FromVertices(g, origin)
-		}
-		if err != nil {
-			return nil, err
-		}
-		fam = append(fam, p)
-	}
-	return fam, nil
+	return NewRouter(g).Multicast(origin, dests)
 }
 
 // AllToAll returns the request list {(u,v) : u != v, v reachable from u}
 // for the all-to-all instance discussed in the paper's conclusion.
 func AllToAll(g *digraph.Digraph) []Request {
-	var reqs []Request
-	n := g.NumVertices()
-	for u := 0; u < n; u++ {
-		reach := reachableSet(g, digraph.Vertex(u))
-		for v := 0; v < n; v++ {
-			if u != v && reach[v] {
-				reqs = append(reqs, Request{digraph.Vertex(u), digraph.Vertex(v)})
-			}
-		}
-	}
-	return reqs
+	return NewRouter(g).AllToAll()
 }
 
+// reachableSet returns the set of vertices reachable from src.
 func reachableSet(g *digraph.Digraph, src digraph.Vertex) []bool {
 	seen := make([]bool, g.NumVertices())
 	seen[src] = true
-	queue := []digraph.Vertex{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, a := range g.OutArcs(v) {
+	queue := make([]digraph.Vertex, 1, g.NumVertices())
+	queue[0] = src
+	for head := 0; head < len(queue); head++ {
+		for _, a := range g.OutArcs(queue[head]) {
 			h := g.Arc(a).Head
 			if !seen[h] {
 				seen[h] = true

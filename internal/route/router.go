@@ -1,0 +1,330 @@
+package route
+
+import (
+	"fmt"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+	"wavedag/internal/load"
+)
+
+// Router holds preallocated search state for routing many requests over
+// one digraph. The free functions of this package allocate fresh BFS
+// state per request — O(requests·n) churn on AllToAll-scale batches —
+// whereas a Router allocates once and reuses: the visited set is an
+// epoch-stamped array (reset is a counter bump, not a clear), and the
+// predecessor, queue and Dijkstra arrays are recycled across calls.
+//
+// A Router is not safe for concurrent use; create one per goroutine.
+type Router struct {
+	g *digraph.Digraph
+
+	// BFS state, valid where stamp[v] == epoch.
+	epoch   int
+	stamp   []int
+	prevArc []digraph.ArcID
+	queue   []digraph.Vertex
+
+	// Lexicographic (load, hops) Dijkstra state for bottleneck routing.
+	bestLoad []int
+	bestHops []int
+	done     []bool
+	heap     []heapItem // reusable binary heap (lazy deletion)
+}
+
+// heapItem is a (priority, vertex) entry of the bottleneck Dijkstra heap.
+type heapItem struct {
+	load, hops int
+	v          digraph.Vertex
+}
+
+func (r *Router) heapPush(it heapItem) {
+	r.heap = append(r.heap, it)
+	i := len(r.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(r.heap[i], r.heap[p]) {
+			break
+		}
+		r.heap[i], r.heap[p] = r.heap[p], r.heap[i]
+		i = p
+	}
+}
+
+func (r *Router) heapPop() heapItem {
+	top := r.heap[0]
+	last := len(r.heap) - 1
+	r.heap[0] = r.heap[last]
+	r.heap = r.heap[:last]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && heapLess(r.heap[l], r.heap[smallest]) {
+			smallest = l
+		}
+		if rt < last && heapLess(r.heap[rt], r.heap[smallest]) {
+			smallest = rt
+		}
+		if smallest == i {
+			break
+		}
+		r.heap[i], r.heap[smallest] = r.heap[smallest], r.heap[i]
+		i = smallest
+	}
+	return top
+}
+
+func heapLess(a, b heapItem) bool {
+	if a.load != b.load {
+		return a.load < b.load
+	}
+	if a.hops != b.hops {
+		return a.hops < b.hops
+	}
+	return a.v < b.v // deterministic order among equal priorities
+}
+
+// NewRouter returns a router over g.
+func NewRouter(g *digraph.Digraph) *Router {
+	n := g.NumVertices()
+	return &Router{
+		g:       g,
+		stamp:   make([]int, n),
+		prevArc: make([]digraph.ArcID, n),
+		queue:   make([]digraph.Vertex, 0, n),
+		epoch:   0,
+	}
+}
+
+// Graph returns the digraph the router routes over.
+func (r *Router) Graph() *digraph.Digraph { return r.g }
+
+// visit begins a new search: previous visited marks become stale in O(1).
+func (r *Router) visit() {
+	r.epoch++
+	r.queue = r.queue[:0]
+}
+
+func (r *Router) seen(v digraph.Vertex) bool { return r.stamp[v] == r.epoch }
+
+func (r *Router) mark(v digraph.Vertex, via digraph.ArcID) {
+	r.stamp[v] = r.epoch
+	r.prevArc[v] = via
+}
+
+// ShortestPath returns a dipath from src to dst minimising the number of
+// arcs (BFS), identical to the free ShortestPath but allocation-free up
+// to the returned path.
+func (r *Router) ShortestPath(src, dst digraph.Vertex) (*dipath.Path, error) {
+	g := r.g
+	n := g.NumVertices()
+	if src < 0 || dst < 0 || int(src) >= n || int(dst) >= n {
+		return nil, fmt.Errorf("route: vertex out of range")
+	}
+	if src == dst {
+		return dipath.FromVertices(g, src)
+	}
+	r.visit()
+	r.mark(src, -1)
+	r.queue = append(r.queue, src)
+	for head := 0; head < len(r.queue); head++ {
+		v := r.queue[head]
+		for _, a := range g.OutArcs(v) {
+			h := g.Arc(a).Head
+			if r.seen(h) {
+				continue
+			}
+			r.mark(h, a)
+			if h == dst {
+				return r.assemble(src, dst)
+			}
+			r.queue = append(r.queue, h)
+		}
+	}
+	return nil, ErrNoRoute{Request{src, dst}}
+}
+
+// assemble rebuilds the dipath dst←src from the epoch-valid predecessor
+// chain.
+func (r *Router) assemble(src, dst digraph.Vertex) (*dipath.Path, error) {
+	g := r.g
+	count := 0
+	for v := dst; v != src; {
+		a := r.prevArc[v]
+		if !r.seen(v) || a < 0 {
+			return nil, fmt.Errorf("route: internal error: broken predecessor chain")
+		}
+		count++
+		v = g.Arc(a).Tail
+	}
+	arcs := make([]digraph.ArcID, count)
+	for v, i := dst, count-1; v != src; i-- {
+		a := r.prevArc[v]
+		arcs[i] = a
+		v = g.Arc(a).Tail
+	}
+	return dipath.FromArcs(g, arcs...)
+}
+
+// ShortestPaths routes every request by shortest dipath, reusing the
+// router's state across requests; it fails on the first unroutable
+// request.
+func (r *Router) ShortestPaths(reqs []Request) (dipath.Family, error) {
+	fam := make(dipath.Family, 0, len(reqs))
+	for _, req := range reqs {
+		p, err := r.ShortestPath(req.Src, req.Dst)
+		if err != nil {
+			return nil, err
+		}
+		fam = append(fam, p)
+	}
+	return fam, nil
+}
+
+// MinLoadSequential routes the requests one by one, each time choosing a
+// dipath minimising the resulting maximum arc load (ties broken by hop
+// count, then by deterministic arc order). Loads accumulate in an
+// incremental load.Tracker; the Dijkstra arrays are reused per request.
+func (r *Router) MinLoadSequential(reqs []Request) (dipath.Family, error) {
+	t := load.NewTracker(r.g)
+	fam := make(dipath.Family, 0, len(reqs))
+	for _, req := range reqs {
+		p, err := r.bottleneckPath(req, t)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(p)
+		fam = append(fam, p)
+	}
+	return fam, nil
+}
+
+// bottleneckPath finds a dipath src->dst minimising (max load along the
+// path, then hops) via lexicographic Dijkstra on a DAG-sized graph.
+func (r *Router) bottleneckPath(req Request, t *load.Tracker) (*dipath.Path, error) {
+	g := r.g
+	n := g.NumVertices()
+	if req.Src < 0 || req.Dst < 0 || int(req.Src) >= n || int(req.Dst) >= n {
+		return nil, fmt.Errorf("route: vertex out of range")
+	}
+	if req.Src == req.Dst {
+		return dipath.FromVertices(g, req.Src)
+	}
+	if r.bestLoad == nil {
+		r.bestLoad = make([]int, n)
+		r.bestHops = make([]int, n)
+		r.done = make([]bool, n)
+	}
+	const inf = int(^uint(0) >> 1)
+	for v := 0; v < n; v++ {
+		r.bestLoad[v], r.bestHops[v], r.done[v] = inf, inf, false
+	}
+	r.visit() // reuse the epoch-stamped prevArc as the predecessor store
+	r.mark(req.Src, -1)
+	r.bestLoad[req.Src], r.bestHops[req.Src] = 0, 0
+	r.heap = r.heap[:0]
+	r.heapPush(heapItem{0, 0, req.Src})
+	for len(r.heap) > 0 {
+		// Extract the unfinished vertex with the lexicographically
+		// smallest (load, hops); stale heap entries (whose priority no
+		// longer matches the vertex's best) are skipped lazily.
+		it := r.heapPop()
+		u := it.v
+		if r.done[u] || it.load != r.bestLoad[u] || it.hops != r.bestHops[u] {
+			continue
+		}
+		if u == req.Dst {
+			return r.assemble(req.Src, req.Dst)
+		}
+		r.done[u] = true
+		for _, a := range g.OutArcs(u) {
+			h := g.Arc(a).Head
+			if r.done[h] {
+				continue
+			}
+			nl := r.bestLoad[u]
+			if t.Load(a)+1 > nl {
+				nl = t.Load(a) + 1
+			}
+			nh := r.bestHops[u] + 1
+			if nl < r.bestLoad[h] || (nl == r.bestLoad[h] && nh < r.bestHops[h]) {
+				r.bestLoad[h], r.bestHops[h] = nl, nh
+				r.mark(h, a)
+				r.heapPush(heapItem{nl, nh, h})
+			}
+		}
+	}
+	return nil, ErrNoRoute{req}
+}
+
+// Multicast routes a one-to-many instance: dipaths from origin to every
+// destination along a BFS tree, so the routes form an out-arborescence.
+func (r *Router) Multicast(origin digraph.Vertex, dests []digraph.Vertex) (dipath.Family, error) {
+	g := r.g
+	n := g.NumVertices()
+	if origin < 0 || int(origin) >= n {
+		return nil, fmt.Errorf("route: origin out of range")
+	}
+	r.visit()
+	r.mark(origin, -1)
+	r.queue = append(r.queue, origin)
+	for head := 0; head < len(r.queue); head++ {
+		v := r.queue[head]
+		for _, a := range g.OutArcs(v) {
+			h := g.Arc(a).Head
+			if !r.seen(h) {
+				r.mark(h, a)
+				r.queue = append(r.queue, h)
+			}
+		}
+	}
+	fam := make(dipath.Family, 0, len(dests))
+	for _, d := range dests {
+		if d < 0 || int(d) >= n || !r.seen(d) {
+			return nil, ErrNoRoute{Request{origin, d}}
+		}
+		var p *dipath.Path
+		var err error
+		if d == origin {
+			p, err = dipath.FromVertices(g, origin)
+		} else {
+			p, err = r.assemble(origin, d)
+		}
+		if err != nil {
+			return nil, err
+		}
+		fam = append(fam, p)
+	}
+	return fam, nil
+}
+
+// AllToAll returns the request list {(u,v) : u != v, v reachable from u},
+// reusing the router's BFS state for the n reachability sweeps.
+func (r *Router) AllToAll() []Request {
+	g := r.g
+	n := g.NumVertices()
+	var reqs []Request
+	for u := 0; u < n; u++ {
+		src := digraph.Vertex(u)
+		r.visit()
+		r.mark(src, -1)
+		r.queue = append(r.queue, src)
+		for head := 0; head < len(r.queue); head++ {
+			v := r.queue[head]
+			for _, a := range g.OutArcs(v) {
+				h := g.Arc(a).Head
+				if !r.seen(h) {
+					r.mark(h, a)
+					r.queue = append(r.queue, h)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v != u && r.seen(digraph.Vertex(v)) {
+				reqs = append(reqs, Request{src, digraph.Vertex(v)})
+			}
+		}
+	}
+	return reqs
+}

@@ -1,0 +1,128 @@
+package route
+
+import (
+	"testing"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/gen"
+	"wavedag/internal/load"
+)
+
+// TestRouterMatchesFreeFunctions checks that the state-reusing Router
+// produces exactly the routes of the one-shot free functions across a
+// batch (the free functions are themselves thin Router wrappers, so this
+// guards the epoch-stamp reuse between consecutive searches).
+func TestRouterMatchesFreeFunctions(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(25, 5, 5, 0.25, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := AllToAll(g)
+	if len(reqs) == 0 {
+		t.Fatal("no requests")
+	}
+	r := NewRouter(g)
+
+	// Shortest: route the whole batch twice through one router and once
+	// per-request through fresh state; all must agree arc-for-arc.
+	batch1, err := r.ShortestPaths(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch2, err := r.ShortestPaths(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, req := range reqs {
+		fresh, err := ShortestPath(g, req.Src, req.Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !batch1[i].Equal(fresh) || !batch2[i].Equal(fresh) {
+			t.Fatalf("request %d (%d->%d): router route %v / %v, fresh %v",
+				i, req.Src, req.Dst, batch1[i], batch2[i], fresh)
+		}
+	}
+
+	// Min-load: deterministic across runs and between router and wrapper.
+	a, err := r.MinLoadSequential(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinLoadSequential(g, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("min-load request %d: router %v, wrapper %v", i, a[i], b[i])
+		}
+	}
+	if load.Pi(g, a) != load.Pi(g, b) {
+		t.Fatalf("min-load π mismatch: %d vs %d", load.Pi(g, a), load.Pi(g, b))
+	}
+}
+
+// TestRouterAllToAllMatchesReachability cross-checks the router's
+// epoch-stamped reachability sweeps against the straightforward BFS.
+func TestRouterAllToAllMatchesReachability(t *testing.T) {
+	g := gen.RandomDAG(30, 70, 61)
+	reqs := NewRouter(g).AllToAll()
+	seen := map[[2]digraph.Vertex]bool{}
+	for _, req := range reqs {
+		seen[[2]digraph.Vertex{req.Src, req.Dst}] = true
+	}
+	n := g.NumVertices()
+	count := 0
+	for u := 0; u < n; u++ {
+		reach := reachableSet(g, digraph.Vertex(u))
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if reach[v] {
+				count++
+				if !seen[[2]digraph.Vertex{digraph.Vertex(u), digraph.Vertex(v)}] {
+					t.Fatalf("missing request %d->%d", u, v)
+				}
+			}
+		}
+	}
+	if count != len(reqs) {
+		t.Fatalf("router produced %d requests, reachability says %d", len(reqs), count)
+	}
+}
+
+// TestRouterMulticastMatchesWrapper checks the Router multicast against
+// the free function and the BFS-tree property.
+func TestRouterMulticastMatchesWrapper(t *testing.T) {
+	g := gen.RandomDAG(25, 60, 71)
+	origin := digraph.Vertex(0)
+	var dests []digraph.Vertex
+	reach := reachableSet(g, origin)
+	for v := 1; v < g.NumVertices(); v++ {
+		if reach[v] {
+			dests = append(dests, digraph.Vertex(v))
+		}
+	}
+	if len(dests) == 0 {
+		t.Skip("origin reaches nothing in this random graph")
+	}
+	r := NewRouter(g)
+	a, err := r.Multicast(origin, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Multicast(g, origin, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dests {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("dest %d: router %v, wrapper %v", dests[i], a[i], b[i])
+		}
+		if a[i].First() != origin || a[i].Last() != dests[i] {
+			t.Fatalf("dest %d: route %v has wrong endpoints", dests[i], a[i])
+		}
+	}
+}

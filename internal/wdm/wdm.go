@@ -120,17 +120,18 @@ func (n *Network) Utilization(p *Provisioning) []float64 {
 }
 
 // LambdaPlan reports, for one wavelength, the arcs it occupies; the union
-// over a wavelength's dipaths is arc-disjoint by construction.
+// over a wavelength's dipaths is arc-disjoint by construction. Dedup runs
+// on a bitset over the dense arc identifiers, not a map.
 func LambdaPlan(g *digraph.Digraph, p *Provisioning, lambda int) []digraph.ArcID {
-	seen := map[digraph.ArcID]bool{}
+	seen := make([]uint64, (g.NumArcs()+63)/64)
 	var arcs []digraph.ArcID
 	for i, path := range p.Paths {
 		if p.Wavelengths[i] != lambda {
 			continue
 		}
 		for _, a := range path.Arcs() {
-			if !seen[a] {
-				seen[a] = true
+			if seen[a/64]&(1<<(uint(a)%64)) == 0 {
+				seen[a/64] |= 1 << (uint(a) % 64)
 				arcs = append(arcs, a)
 			}
 		}

@@ -39,6 +39,31 @@
 //	res, method, _ := wavedag.Color(g, fam)
 //	fmt.Println(res.NumColors, method) // 2 theorem1
 //
+// # Performance
+//
+// The hot paths are engineered for batch workloads:
+//
+//   - The exact solvers (ChromaticNumber, CliqueNumber, OptimalColoring)
+//     and the DSATUR heuristic decompose the conflict graph into
+//     connected components first — χ and ω of a disjoint union are the
+//     maxima over components — so the exponential searches run on small
+//     subproblems, dispatched to a runtime.NumCPU()-bounded worker pool
+//     when components are large enough to pay for it.
+//   - Inner loops are allocation-free: candidate sets and palettes are
+//     bitsets (Tomita-style MaxClique with word-parallel coloring
+//     bounds), the exact-coloring search maintains vertex saturation
+//     incrementally instead of recomputing it per node, and neighbour
+//     iteration uses ConflictGraph.ForEachNeighbor rather than
+//     slice-returning Neighbors.
+//   - Batch routing goes through NewRouter, which reuses epoch-stamped
+//     BFS/Dijkstra state across requests instead of allocating per
+//     request; incremental load bookkeeping goes through NewLoadTracker.
+//
+// BENCH_PR1.json records the measured baseline (ns/op, B/op, allocs/op,
+// before/after) for the E1–E12 experiment pipelines and the large-
+// instance workloads of cmd/bench; `make benchsmoke` keeps every
+// benchmark compiling and running.
+//
 // The sub-packages under internal/ hold the implementation; this package
 // re-exports the stable API.
 package wavedag
@@ -81,6 +106,12 @@ type (
 	Provisioning = wdm.Provisioning
 	// Request is a source/destination connection demand.
 	Request = route.Request
+	// Router holds preallocated, reusable routing state for batches of
+	// requests over one graph (see NewRouter).
+	Router = route.Router
+	// LoadTracker maintains arc loads incrementally under path
+	// insertion/removal (see NewLoadTracker).
+	LoadTracker = load.Tracker
 )
 
 // Methods reported by Color.
@@ -146,6 +177,22 @@ func VerifyColoring(g *Graph, fam Family, res *Result) error {
 // NewConflictGraph builds the conflict graph of fam over g.
 func NewConflictGraph(g *Graph, fam Family) *ConflictGraph {
 	return conflict.FromFamily(g, fam)
+}
+
+// NewRouter returns a Router over g: routing state (visited stamps,
+// predecessor chains, queues, the Dijkstra heap) is allocated once and
+// reused across requests, which is the fast path for AllToAll-scale
+// batches. A Router is not safe for concurrent use.
+func NewRouter(g *Graph) *Router { return route.NewRouter(g) }
+
+// NewLoadTracker returns an empty incremental load tracker for g: Add
+// and Remove update per-arc loads in O(path length), and Pi reports the
+// current maximum load without rescanning the whole family.
+func NewLoadTracker(g *Graph) *LoadTracker { return load.NewTracker(g) }
+
+// NewLoadTrackerFromFamily returns a tracker preloaded with fam.
+func NewLoadTrackerFromFamily(g *Graph, fam Family) *LoadTracker {
+	return load.NewTrackerFromFamily(g, fam)
 }
 
 // Constructions from the paper, for experimentation and testing.
