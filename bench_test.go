@@ -325,3 +325,45 @@ func BenchmarkRWAPipeline(b *testing.B) {
 		})
 	}
 }
+
+// Dynamic provisioning engine: steady-state churn (one teardown + one
+// arrival per iteration) on a session, against the one-shot pipeline's
+// per-event rebuild measured by cmd/bench's churn/scratch entries.
+func BenchmarkSessionChurn(b *testing.B) {
+	topo, err := gen.RandomNoInternalCycleDAG(40, 6, 6, 0.2, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := &wdm.Network{Topology: topo}
+	pool := route.AllToAll(topo)
+	s, err := net.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const liveTarget = 200
+	ids := make([]wavedag.SessionID, 0, liveTarget)
+	for i := 0; len(ids) < liveTarget; i++ {
+		id, err := s.Add(pool[(i*31)%len(pool)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := (i * 17) % len(ids)
+		if err := s.Remove(ids[k]); err != nil {
+			b.Fatal(err)
+		}
+		id, err := s.Add(pool[(i*13)%len(pool)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[k] = id
+	}
+	b.StopTimer()
+	if err := s.Verify(); err != nil {
+		b.Fatal(err)
+	}
+}

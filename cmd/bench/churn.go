@@ -1,0 +1,150 @@
+// Churn workload driver: arrival/departure traces with configurable
+// hold times, used to measure the dynamic provisioning engine's
+// steady-state cost per operation against rebuild-from-scratch.
+package main
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/route"
+	"wavedag/internal/wdm"
+)
+
+// churnOp is one trace event: the arrival of a new request (add=true,
+// with its request and arrival sequence number) or the departure of a
+// previously arrived one (identified by its sequence number).
+type churnOp struct {
+	add bool
+	seq int
+	req route.Request
+}
+
+type departure struct {
+	t   float64
+	seq int
+}
+
+type departureHeap []departure
+
+func (h departureHeap) Len() int           { return len(h) }
+func (h departureHeap) Less(i, j int) bool { return h[i].t < h[j].t }
+func (h departureHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x any)        { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// churnDriver generates an M/M/∞-style event stream: unit-rate Poisson
+// arrivals drawn uniformly from a request pool, each holding for an
+// exponential time with the configured mean. With arrival rate 1 the
+// steady-state number of live requests concentrates around meanHold,
+// so meanHold doubles as the target working-set size.
+type churnDriver struct {
+	rng      *rand.Rand
+	pool     []route.Request
+	meanHold float64
+	now      float64
+	dep      departureHeap
+	nextSeq  int
+}
+
+func newChurnDriver(pool []route.Request, meanHold float64, seed int64) *churnDriver {
+	return &churnDriver{
+		rng:      rand.New(rand.NewSource(seed)),
+		pool:     pool,
+		meanHold: meanHold,
+	}
+}
+
+// nextOp advances the simulation by one event.
+func (d *churnDriver) nextOp() churnOp {
+	arrive := d.now + d.rng.ExpFloat64()
+	if len(d.dep) > 0 && d.dep[0].t < arrive {
+		ev := heap.Pop(&d.dep).(departure)
+		d.now = ev.t
+		return churnOp{seq: ev.seq}
+	}
+	d.now = arrive
+	seq := d.nextSeq
+	d.nextSeq++
+	heap.Push(&d.dep, departure{t: arrive + d.rng.ExpFloat64()*d.meanHold, seq: seq})
+	return churnOp{add: true, seq: seq, req: d.pool[d.rng.Intn(len(d.pool))]}
+}
+
+// churnBenches builds the session-vs-scratch benchmark pair for one
+// topology and working-set size. Both sides replay statistically
+// identical traces (same driver parameters and seed); the session pays
+// incremental maintenance per event, the scratch side re-runs the whole
+// one-shot Provision pipeline per event.
+func churnBenches(label string, g *digraph.Digraph, liveTarget int, seed int64) []bench {
+	pool := route.NewRouter(g).AllToAll()
+	session := bench{"churn/session/" + label, func(b *testing.B) {
+		b.ReportAllocs()
+		net := &wdm.Network{Topology: g}
+		s, err := net.NewSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := newChurnDriver(pool, float64(liveTarget), seed)
+		ids := make(map[int]wdm.SessionID, liveTarget)
+		apply := func(op churnOp) {
+			if op.add {
+				id, err := s.Add(op.req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids[op.seq] = id
+			} else {
+				if err := s.Remove(ids[op.seq]); err != nil {
+					b.Fatal(err)
+				}
+				delete(ids, op.seq)
+			}
+		}
+		for s.Len() < liveTarget {
+			apply(d.nextOp())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			apply(d.nextOp())
+		}
+		b.StopTimer()
+		// The engine must still be consistent after the measured churn.
+		if err := s.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}}
+	scratch := bench{"churn/scratch/" + label, func(b *testing.B) {
+		b.ReportAllocs()
+		net := &wdm.Network{Topology: g}
+		d := newChurnDriver(pool, float64(liveTarget), seed)
+		var live []route.Request
+		var seqs []int
+		idx := make(map[int]int, liveTarget)
+		apply := func(op churnOp) {
+			if op.add {
+				idx[op.seq] = len(live)
+				live = append(live, op.req)
+				seqs = append(seqs, op.seq)
+				return
+			}
+			i, last := idx[op.seq], len(live)-1
+			live[i], seqs[i] = live[last], seqs[last]
+			idx[seqs[i]] = i
+			live, seqs = live[:last], seqs[:last]
+			delete(idx, op.seq)
+		}
+		for len(live) < liveTarget {
+			apply(d.nextOp())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			apply(d.nextOp())
+			if _, err := net.Provision(live, wdm.RouteShortest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+	return []bench{session, scratch}
+}

@@ -213,6 +213,16 @@ func suite(large bool) []bench {
 		}
 	}
 
+	// Churn (small): dynamic session vs rebuild-from-scratch per event on
+	// the RWA-pipeline topology at a 200-path working set.
+	{
+		topo, err := gen.RandomNoInternalCycleDAG(40, 6, 6, 0.2, 12)
+		if err != nil {
+			fatal(err)
+		}
+		benches = append(benches, churnBenches("n=40-paths=200", topo, 200, 7)...)
+	}
+
 	if !large {
 		return benches
 	}
@@ -253,6 +263,17 @@ func suite(large bool) []bench {
 				}
 			}
 		})
+	}
+
+	// Large churn: the ISSUE 2 acceptance workload — steady-state cost
+	// per churn event at n=500 internal vertices and a 5000-path working
+	// set, session vs full rebuild.
+	{
+		topo, err := gen.RandomNoInternalCycleDAG(500, 8, 8, 0.2, 500)
+		if err != nil {
+			fatal(err)
+		}
+		benches = append(benches, churnBenches("n=500-paths=5000", topo, 5000, 11)...)
 	}
 
 	// Large 3: all-to-all batch routing through one reusable Router.

@@ -1,0 +1,125 @@
+package conflict
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Component-level result cache for the exact solvers.
+//
+// Disjoint-union workloads (replicated instances, batched requests)
+// decompose into many components that are frequently *identical* — the
+// 64-component union benchmark solves the same subproblem 64 times.
+// Identical components induce byte-identical subgraphs here, because
+// componentSubgraph always numbers vertices in ascending original order;
+// so the canonical key is simply the exact adjacency bitmap (the degree
+// sequence is implied by it). Exact-key matching keeps the cache sound
+// without any isomorphism reasoning: a cached coloring or clique is
+// valid verbatim for every component with the same key.
+//
+// Results stored in the cache are shared across lookups and must never
+// be mutated by callers (solveComponents' callers only copy them out).
+
+// solverKind separates cache namespaces per algorithm.
+type solverKind uint8
+
+const (
+	solveChi    solverKind = iota // optimalColoringConnected
+	solveDSATUR                   // dsaturConnected
+	solveOmega                    // maxCliqueConnected
+)
+
+const (
+	// cacheMaxVertices gates which components are canonicalized: beyond
+	// this the key itself (n²/8 bytes) costs more than it saves.
+	cacheMaxVertices = 128
+	// cacheMaxEntries bounds the global cache; on overflow a random
+	// quarter of the entries is evicted (map iteration order), so the
+	// expensive exact memos degrade gradually instead of being wiped.
+	cacheMaxEntries = 4096
+)
+
+// cacheable reports whether a solver kind's results are worth keeping in
+// the global memo. DSATUR is polynomial — roughly the cost of computing
+// the canonical key itself — so caching it would only crowd out the
+// exponential χ/ω results the cache exists for (it still benefits from
+// the per-call duplicate sharing in solveComponents).
+func (k solverKind) cacheable() bool { return k != solveDSATUR }
+
+type cacheKey struct {
+	kind solverKind
+	n    int
+	adj  string
+}
+
+var componentCache = struct {
+	sync.RWMutex
+	m map[cacheKey][]int
+}{m: map[cacheKey][]int{}}
+
+// canonKey serialises the adjacency bitmap of a (small) graph. Two
+// graphs share a key iff they are equal vertex-for-vertex.
+func canonKey(g *Graph) string {
+	words := (g.n + 63) / 64
+	buf := make([]byte, 0, g.n*words*8)
+	var w [8]byte
+	for _, r := range g.rows {
+		for _, word := range r {
+			binary.LittleEndian.PutUint64(w[:], word)
+			buf = append(buf, w[:]...)
+		}
+	}
+	return string(buf)
+}
+
+func cacheGet(kind solverKind, n int, key string) ([]int, bool) {
+	componentCache.RLock()
+	v, ok := componentCache.m[cacheKey{kind, n, key}]
+	componentCache.RUnlock()
+	return v, ok
+}
+
+func cachePut(kind solverKind, n int, key string, val []int) {
+	componentCache.Lock()
+	if len(componentCache.m) >= cacheMaxEntries {
+		evict := cacheMaxEntries / 4
+		for k := range componentCache.m {
+			delete(componentCache.m, k)
+			if evict--; evict == 0 {
+				break
+			}
+		}
+	}
+	componentCache.m[cacheKey{kind, n, key}] = val
+	componentCache.Unlock()
+}
+
+// cacheLen reports the number of cached results (for tests).
+func cacheLen() int {
+	componentCache.RLock()
+	defer componentCache.RUnlock()
+	return len(componentCache.m)
+}
+
+// cacheReset clears the cache (for tests and benchmarks that measure
+// cold behaviour).
+func cacheReset() {
+	componentCache.Lock()
+	componentCache.m = map[cacheKey][]int{}
+	componentCache.Unlock()
+}
+
+// cachedSolve memoizes solve on sub's canonical key: the single-graph
+// form of the cache protocol (solveComponents inlines the same protocol
+// because its per-call dedup and worker-pool dispatch sit between the
+// lookup and the store). The returned slice may be shared with other
+// cache readers — callers must not mutate it.
+func cachedSolve(kind solverKind, sub *Graph, solve func(*Graph) []int) []int {
+	key := canonKey(sub)
+	if v, ok := cacheGet(kind, sub.n, key); ok {
+		return v
+	}
+	v := solve(sub)
+	cachePut(kind, sub.n, key, v)
+	return v
+}

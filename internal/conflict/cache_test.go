@@ -1,0 +1,148 @@
+package conflict
+
+import (
+	"testing"
+
+	"wavedag/internal/gen"
+)
+
+// TestComponentCacheCorrectness solves a disjoint union of identical
+// instances twice (cold and warm cache) and checks the answers agree
+// with the single-instance ground truth.
+func TestComponentCacheCorrectness(t *testing.T) {
+	cacheReset()
+	gh, fh := gen.Havet()
+	single := FromFamily(gh, fh)
+	wantChi := single.ChromaticNumber()
+	wantOmega := single.CliqueNumber()
+	wantDSATUR := CountColors(single.DSATURColoring())
+
+	parts := make([]gen.Instance, 16)
+	for i := range parts {
+		parts[i] = gen.Instance{G: gh, F: fh}
+	}
+	g, fam := gen.DisjointUnion(parts...)
+	union := FromFamily(g, fam)
+
+	for pass := 0; pass < 2; pass++ {
+		if chi := union.ChromaticNumber(); chi != wantChi {
+			t.Fatalf("pass %d: union χ = %d, single χ = %d", pass, chi, wantChi)
+		}
+		if om := union.CliqueNumber(); om != wantOmega {
+			t.Fatalf("pass %d: union ω = %d, single ω = %d", pass, om, wantOmega)
+		}
+		colors := union.DSATURColoring()
+		if err := union.ValidateColoring(colors); err != nil {
+			t.Fatalf("pass %d: DSATUR invalid: %v", pass, err)
+		}
+		if w := CountColors(colors); w != wantDSATUR {
+			t.Fatalf("pass %d: union DSATUR = %d, single = %d", pass, w, wantDSATUR)
+		}
+		clique := union.MaxClique()
+		for i := 0; i < len(clique); i++ {
+			for j := i + 1; j < len(clique); j++ {
+				if !union.HasEdge(clique[i], clique[j]) {
+					t.Fatalf("pass %d: MaxClique returned a non-clique", pass)
+				}
+			}
+		}
+	}
+	if cacheLen() == 0 {
+		t.Fatal("identical components left no cache entries")
+	}
+}
+
+// TestComponentCacheDedupWithinCall checks a single call over many
+// identical components produces one cache entry per (kind, shape), not
+// one per component — the per-call dedup shares a single solve.
+func TestComponentCacheDedupWithinCall(t *testing.T) {
+	cacheReset()
+	gh, fh := gen.Havet()
+	parts := make([]gen.Instance, 8)
+	for i := range parts {
+		parts[i] = gen.Instance{G: gh, F: fh}
+	}
+	g, fam := gen.DisjointUnion(parts...)
+	union := FromFamily(g, fam)
+	_, err := union.OptimalColoring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All components are identical: exactly one χ entry (plus whatever
+	// the DSATUR upper bound seeded — it runs inside the χ solve on the
+	// same subgraph, not through solveComponents, so just one entry).
+	if n := cacheLen(); n != 1 {
+		t.Fatalf("cache has %d entries after one solve over identical components, want 1", n)
+	}
+}
+
+// TestComponentCacheKindSeparation checks χ and ω results do not
+// collide in the cache even though they key the same subgraph, and that
+// DSATUR — polynomial, cheaper than the key itself — stays out of the
+// global memo (it still shares solves within one call).
+func TestComponentCacheKindSeparation(t *testing.T) {
+	cacheReset()
+	gh, fh := gen.Havet()
+	parts := []gen.Instance{{G: gh, F: fh}, {G: gh, F: fh}}
+	g, fam := gen.DisjointUnion(parts...)
+	union := FromFamily(g, fam)
+	if _, err := union.OptimalColoring(); err != nil {
+		t.Fatal(err)
+	}
+	after1 := cacheLen()
+	if after1 == 0 {
+		t.Fatal("χ solve left no cache entry")
+	}
+	union.DSATURColoring()
+	if cacheLen() != after1 {
+		t.Fatalf("DSATUR polluted the exact-solver memo: %d -> %d entries", after1, cacheLen())
+	}
+	union.MaxClique()
+	if cacheLen() <= after1 {
+		t.Fatalf("ω reused the χ namespace: still %d entries", cacheLen())
+	}
+}
+
+// TestCanonKey checks the canonicalization: identical subgraphs share a
+// key, different adjacency does not.
+func TestCanonKey(t *testing.T) {
+	a := NewGraph(4)
+	b := NewGraph(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if err := a.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if canonKey(a) != canonKey(b) {
+		t.Fatal("identical graphs got different keys")
+	}
+	if err := b.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if canonKey(a) == canonKey(b) {
+		t.Fatal("different graphs share a key")
+	}
+}
+
+// TestCacheOverflowReset fills the cache past its bound and checks the
+// partial eviction keeps it bounded without wiping the whole memo.
+func TestCacheOverflowReset(t *testing.T) {
+	cacheReset()
+	for i := 0; i < cacheMaxEntries+10; i++ {
+		cachePut(solveChi, 3, string(rune(i))+"x", []int{0, 1, 2})
+	}
+	n := cacheLen()
+	if n > cacheMaxEntries {
+		t.Fatalf("cache grew to %d entries, bound is %d", n, cacheMaxEntries)
+	}
+	if n < cacheMaxEntries/2 {
+		t.Fatalf("eviction dropped too much: %d entries left of %d", n, cacheMaxEntries)
+	}
+	cacheReset()
+	if cacheLen() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}

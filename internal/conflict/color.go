@@ -3,6 +3,7 @@ package conflict
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ValidateColoring checks that colors is a proper coloring of g: one
@@ -113,7 +114,7 @@ func (g *Graph) DSATURColoring() []int {
 	if len(comps) <= 1 {
 		return g.dsaturConnected()
 	}
-	results := solveComponents(g, comps, func(sub *Graph) []int {
+	results := solveComponents(g, comps, solveDSATUR, func(sub *Graph) []int {
 		return sub.dsaturConnected()
 	})
 	colors := make([]int, g.n)
@@ -165,9 +166,11 @@ func (g *Graph) dsaturConnected() []int {
 // MaxClique returns a maximum clique of g (exact, branch-and-bound with a
 // greedy-coloring upper bound in the style of Tomita's MCQ). The graph is
 // decomposed into connected components first — ω of a disjoint union is
-// the max over components — and the searches share one solver state:
-// components are visited largest first, and any component no larger than
-// the best clique found so far is skipped outright.
+// the max over components. Components are visited largest first, so any
+// component no larger than the best clique found so far is skipped
+// outright; complete components are answered without a search; and small
+// components go through the canonical component cache, so a disjoint
+// union of identical instances searches once and reuses the clique.
 func (g *Graph) MaxClique() []int {
 	if g.n == 0 {
 		return nil
@@ -176,7 +179,6 @@ func (g *Graph) MaxClique() []int {
 	if len(comps) == 1 {
 		return g.maxCliqueConnected()
 	}
-	s := newMCSolver(g)
 	// Largest components first: their cliques raise the size bound that
 	// lets smaller components be skipped without a search. Insertion sort
 	// avoids sort.Slice's reflection cost on the tiny common case.
@@ -189,14 +191,60 @@ func (g *Graph) MaxClique() []int {
 			bySize[j], bySize[j-1] = bySize[j-1], bySize[j]
 		}
 	}
+	var best []int // in original vertex ids
+	pos := make([]int, g.n)
 	for _, ci := range bySize {
-		s.searchComponent(comps[ci])
+		comp := comps[ci]
+		if len(comp) <= len(best) {
+			break // sorted by size: nothing later can beat the best
+		}
+		// A connected component whose vertices all have degree |comp|-1
+		// is complete: the component is its own maximum clique.
+		complete := true
+		for _, v := range comp {
+			if g.deg[v] != len(comp)-1 {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			best = append(best[:0:0], comp...)
+			continue
+		}
+		var local []int // clique in component-local indices
+		if len(comp) <= cacheMaxVertices {
+			sub := g.componentSubgraph(comp, pos)
+			local = cachedSolve(solveOmega, sub, func(sub *Graph) []int {
+				return sub.maxCliqueConnected()
+			})
+		} else {
+			// Too large to canonicalize: search with the best-so-far as a
+			// pruning floor (the cross-component bound the cached path
+			// gets from skipping whole components).
+			sub := g.componentSubgraph(comp, pos)
+			local = sub.maxCliqueConnectedFloor(len(best))
+		}
+		if len(local) > len(best) {
+			best = best[:0]
+			for _, i := range local {
+				best = append(best, comp[i])
+			}
+		}
 	}
-	return s.clique()
+	sort.Ints(best)
+	return best
 }
 
 // maxCliqueConnected is the exact search on the whole graph.
 func (g *Graph) maxCliqueConnected() []int {
+	return g.maxCliqueConnectedFloor(0)
+}
+
+// maxCliqueConnectedFloor is maxCliqueConnected with an external pruning
+// floor: subtrees that cannot beat floor are cut. When the true maximum
+// clique is no larger than floor the result may be smaller than the
+// maximum — callers discard results not exceeding their floor.
+func (g *Graph) maxCliqueConnectedFloor(floor int) []int {
 	n := g.n
 	if n == 0 {
 		return nil
@@ -214,7 +262,8 @@ func (g *Graph) maxCliqueConnected() []int {
 		return all
 	}
 	s := newMCSolver(g)
-	s.search(nil)
+	s.floor = floor
+	s.search()
 	return s.clique()
 }
 
@@ -241,6 +290,7 @@ type mcSolver struct {
 	cand0  row // scratch for the initial candidate set of a search
 	best   []int
 	cur    []int
+	floor  int // external pruning bound: cliques ≤ floor are worthless
 }
 
 func newMCSolver(g *Graph) *mcSolver {
@@ -292,54 +342,17 @@ func (s *mcSolver) clique() []int {
 	return clique
 }
 
-// search explores the given candidate vertex set (nil = all vertices),
-// keeping any previously found best clique as the pruning bound.
-func (s *mcSolver) search(verts []int) {
+// search explores all vertices, keeping any previously found best
+// clique as the pruning bound.
+func (s *mcSolver) search() {
 	s.cand0.zero()
-	if verts == nil {
-		for i := 0; i < s.n; i++ {
-			s.cand0.set(i)
-		}
-		if len(s.best) == 0 && s.n > 0 {
-			s.best = []int{0}
-		}
-	} else {
-		for _, v := range verts {
-			s.cand0.set(s.pos[v])
-		}
-		if len(s.best) == 0 && len(verts) > 0 {
-			s.best = []int{s.pos[verts[0]]}
-		}
+	for i := 0; i < s.n; i++ {
+		s.cand0.set(i)
+	}
+	if len(s.best) == 0 && s.n > 0 {
+		s.best = []int{0}
 	}
 	s.expand(0, s.cand0)
-}
-
-// searchComponent searches one connected component, skipping it when it
-// cannot beat the best clique already found.
-func (s *mcSolver) searchComponent(comp []int) {
-	if len(s.best) == 0 {
-		s.best = []int{s.pos[comp[0]]}
-	}
-	if len(comp) <= len(s.best) {
-		return // ω(component) ≤ |component| ≤ current best
-	}
-	// A connected component whose vertices all have degree |comp|-1 is a
-	// complete subgraph: its clique is the component itself.
-	complete := true
-	for _, v := range comp {
-		if s.g.deg[v] != len(comp)-1 {
-			complete = false
-			break
-		}
-	}
-	if complete {
-		s.best = s.best[:0]
-		for _, v := range comp {
-			s.best = append(s.best, s.pos[v])
-		}
-		return
-	}
-	s.search(comp)
 }
 
 func (s *mcSolver) getFrame(d int) *mcFrame {
@@ -391,7 +404,11 @@ func (s *mcSolver) expand(d int, cand row) {
 	f.rem.copyFrom(cand)
 	for i := len(f.verts) - 1; i >= 0; i-- {
 		v := f.verts[i]
-		if len(s.cur)+f.cols[i]+1 <= len(s.best) {
+		bound := len(s.best) // s.best can grow inside the recursion
+		if s.floor > bound {
+			bound = s.floor
+		}
+		if len(s.cur)+f.cols[i]+1 <= bound {
 			return // all remaining candidates have smaller bounds
 		}
 		f.rem.clear(v)
@@ -430,7 +447,7 @@ func (g *Graph) OptimalColoring() ([]int, error) {
 	if len(comps) == 1 {
 		return g.optimalColoringConnected(), nil
 	}
-	results := solveComponents(g, comps, func(sub *Graph) []int {
+	results := solveComponents(g, comps, solveChi, func(sub *Graph) []int {
 		return sub.optimalColoringConnected()
 	})
 	colors := make([]int, g.n)
@@ -453,7 +470,8 @@ func (g *Graph) optimalColoringConnected() []int {
 	if lower == upper {
 		return upperColors
 	}
-	ws := newColorWS(g, upper)
+	ws := acquireColorWS(g, upper)
+	defer releaseColorWS(ws)
 	for k := lower; k < upper; k++ {
 		if colors, ok := ws.kColoring(k); ok {
 			return colors
@@ -470,38 +488,75 @@ func (g *Graph) maxCliqueConnectedSize() int { return len(g.maxCliqueConnected()
 // per-(vertex,color) count of colored neighbours, so the DSATUR-style
 // most-constrained-vertex selection reads preexisting state instead of
 // allocating and recomputing a palette row per candidate per search node.
+//
+// Workspaces are pooled (acquireColorWS/releaseColorWS): per-component
+// exact solves on sharded graphs used to pay ~5 allocations per
+// component; a pooled workspace is rebound to the next (graph, k) pair
+// and only reallocates when it has to grow.
 type colorWS struct {
-	g        *Graph
-	k        int   // palette capacity the workspace was sized for
-	words    int   // words per saturation row
-	colors   []int // current assignment; -1 = uncolored
-	satRows  []row // satRows[v] bit c: some colored neighbour of v has color c
-	satCount []int // popcount of satRows[v]
-	nbrCount []int // nbrCount[v*k+c]: colored neighbours of v with color c
+	g          *Graph
+	k          int   // palette capacity the workspace was sized for
+	words      int   // words per saturation row
+	colors     []int // current assignment; -1 = uncolored
+	satRows    []row // satRows[v] bit c: some colored neighbour of v has color c
+	satBacking row   // one backing array for all saturation rows
+	satCount   []int // popcount of satRows[v]
+	nbrCount   []int // nbrCount[v*k+c]: colored neighbours of v with color c
 }
 
-func newColorWS(g *Graph, k int) *colorWS {
+// init (re)binds the workspace to g with palette capacity k, growing
+// the backing arrays only when needed, and leaves it all-uncolored.
+func (ws *colorWS) init(g *Graph, k int) {
 	if k < 1 {
 		k = 1
 	}
+	n := g.n
 	words := (k + 63) / 64
-	ws := &colorWS{
-		g:        g,
-		k:        k,
-		words:    words,
-		colors:   make([]int, g.n),
-		satRows:  make([]row, g.n),
-		satCount: make([]int, g.n),
-		nbrCount: make([]int, g.n*k),
+	ws.g, ws.k, ws.words = g, k, words
+	if cap(ws.colors) < n {
+		ws.colors = make([]int, n)
+	} else {
+		ws.colors = ws.colors[:n]
 	}
-	backing := make(row, g.n*words)
-	for v := range ws.satRows {
-		ws.satRows[v] = backing[v*words : (v+1)*words]
+	if cap(ws.satCount) < n {
+		ws.satCount = make([]int, n)
+	} else {
+		ws.satCount = ws.satCount[:n]
 	}
-	for v := range ws.colors {
-		ws.colors[v] = -1
+	if cap(ws.nbrCount) < n*k {
+		ws.nbrCount = make([]int, n*k)
+	} else {
+		ws.nbrCount = ws.nbrCount[:n*k]
 	}
+	if cap(ws.satBacking) < n*words {
+		ws.satBacking = make(row, n*words)
+	} else {
+		ws.satBacking = ws.satBacking[:n*words]
+	}
+	if cap(ws.satRows) < n {
+		ws.satRows = make([]row, n)
+	} else {
+		ws.satRows = ws.satRows[:n]
+	}
+	for v := 0; v < n; v++ {
+		ws.satRows[v] = ws.satBacking[v*words : (v+1)*words]
+	}
+	ws.reset()
+}
+
+// colorWSPool recycles workspaces across solves (and goroutines: the
+// component worker pool acquires per solve).
+var colorWSPool = sync.Pool{New: func() any { return new(colorWS) }}
+
+func acquireColorWS(g *Graph, k int) *colorWS {
+	ws := colorWSPool.Get().(*colorWS)
+	ws.init(g, k)
 	return ws
+}
+
+func releaseColorWS(ws *colorWS) {
+	ws.g = nil // drop the graph reference while pooled
+	colorWSPool.Put(ws)
 }
 
 // reset returns the workspace to the all-uncolored state.
@@ -609,7 +664,9 @@ func (ws *colorWS) kColoring(k int) ([]int, bool) {
 
 // kColoring searches for a proper coloring of g with at most k colors.
 func (g *Graph) kColoring(k int) ([]int, bool) {
-	return newColorWS(g, k).kColoring(k)
+	ws := acquireColorWS(g, k)
+	defer releaseColorWS(ws)
+	return ws.kColoring(k)
 }
 
 // CompleteColoring extends a partial coloring (-1 marks uncolored
@@ -621,7 +678,8 @@ func (g *Graph) CompleteColoring(partial []int, k int) ([]int, bool) {
 	if len(partial) != g.n || k < 0 {
 		return nil, false
 	}
-	ws := newColorWS(g, k)
+	ws := acquireColorWS(g, k)
+	defer releaseColorWS(ws)
 	uncolored := 0
 	for v, c := range partial {
 		if c >= k {

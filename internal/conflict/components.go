@@ -121,22 +121,47 @@ var (
 // component order (so results are deterministic regardless of
 // scheduling). Components of at most two vertices are answered inline —
 // their clique and coloring are the identity — without building a
-// subgraph. Results are in component-local vertex indices.
-func solveComponents(g *Graph, comps [][]int, solve func(sub *Graph) []int) [][]int {
+// subgraph. Small components are canonicalized and memoized in the
+// kind-namespaced component cache, and duplicates within one call are
+// solved once and shared, so a disjoint union of identical instances
+// pays for a single solve. Results are in component-local vertex
+// indices; cached (and deduplicated) result slices are shared, so
+// callers must treat them as read-only.
+func solveComponents(g *Graph, comps [][]int, kind solverKind, solve func(sub *Graph) []int) [][]int {
 	results := make([][]int, len(comps))
 	// Extraction is cheap and sequential (it shares one position array);
 	// only the solves are dispatched to the pool.
 	pos := make([]int, g.n)
 	subs := make([]*Graph, len(comps))
+	keys := make([]string, len(comps))
+	firstOf := make(map[string]int, len(comps)) // key -> first ci with it
+	alias := make([]int, len(comps))            // ci -> representative ci
 	largest := 0
 	for ci, comp := range comps {
+		alias[ci] = ci
 		switch len(comp) {
 		case 1:
 			results[ci] = trivialK1
 		case 2:
 			results[ci] = trivialK2
 		default:
-			subs[ci] = g.componentSubgraph(comp, pos)
+			sub := g.componentSubgraph(comp, pos)
+			if len(comp) <= cacheMaxVertices {
+				key := canonKey(sub)
+				if kind.cacheable() {
+					if cached, ok := cacheGet(kind, len(comp), key); ok {
+						results[ci] = cached
+						continue
+					}
+				}
+				if rep, dup := firstOf[key]; dup {
+					alias[ci] = rep // share the representative's solve
+					continue
+				}
+				firstOf[key] = ci
+				keys[ci] = key
+			}
+			subs[ci] = sub
 			if len(comp) > largest {
 				largest = len(comp)
 			}
@@ -152,25 +177,37 @@ func solveComponents(g *Graph, comps [][]int, solve func(sub *Graph) []int) [][]
 				results[ci] = solve(subs[ci])
 			}
 		}
-		return results
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ci := range work {
-				results[ci] = solve(subs[ci])
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range work {
+					results[ci] = solve(subs[ci])
+				}
+			}()
+		}
+		for ci := range comps {
+			if subs[ci] != nil {
+				work <- ci
 			}
-		}()
+		}
+		close(work)
+		wg.Wait()
 	}
-	for ci := range comps {
-		if subs[ci] != nil {
-			work <- ci
+	if kind.cacheable() {
+		for ci := range comps {
+			if keys[ci] != "" && results[ci] != nil {
+				cachePut(kind, len(comps[ci]), keys[ci], results[ci])
+			}
 		}
 	}
-	close(work)
-	wg.Wait()
+	for ci, rep := range alias {
+		if rep != ci {
+			results[ci] = results[rep]
+		}
+	}
 	return results
 }

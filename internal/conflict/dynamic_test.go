@@ -1,0 +1,152 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+
+	"wavedag/internal/gen"
+	"wavedag/internal/load"
+)
+
+// TestDynamicMatchesFromFamily drives a Dynamic through random
+// insertions and removals and checks after every operation that its
+// compacted snapshot is exactly the static conflict graph of the live
+// family, and that the incremental lower bound equals the true load π.
+func TestDynamicMatchesFromFamily(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(18, 4, 4, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := gen.RandomWalkFamily(g, 60, 6, 99)
+	rng := rand.New(rand.NewSource(42))
+
+	d := NewDynamic(g)
+	type liveEntry struct {
+		slot int
+		fam  int // index into pool
+	}
+	var liveSet []liveEntry
+
+	check := func(opNum int) {
+		t.Helper()
+		snap, slots := d.Snapshot()
+		if len(slots) != d.NumLive() || d.NumLive() != len(liveSet) {
+			t.Fatalf("op %d: live bookkeeping mismatch: %d slots, %d live, %d entries",
+				opNum, len(slots), d.NumLive(), len(liveSet))
+		}
+		// Build the family in increasing slot order (Snapshot's order).
+		fam := d.Family()
+		want := FromFamily(g, fam)
+		if snap.N() != want.N() {
+			t.Fatalf("op %d: snapshot has %d vertices, want %d", opNum, snap.N(), want.N())
+		}
+		for u := 0; u < want.N(); u++ {
+			if snap.Degree(u) != want.Degree(u) {
+				t.Fatalf("op %d: degree(%d) = %d, want %d", opNum, u, snap.Degree(u), want.Degree(u))
+			}
+			for v := u + 1; v < want.N(); v++ {
+				if snap.HasEdge(u, v) != want.HasEdge(u, v) {
+					t.Fatalf("op %d: edge (%d,%d) = %v, want %v",
+						opNum, u, v, snap.HasEdge(u, v), want.HasEdge(u, v))
+				}
+			}
+		}
+		if lb, pi := d.LowerBound(), load.Pi(g, fam); lb != pi {
+			t.Fatalf("op %d: lower bound %d, want π = %d", opNum, lb, pi)
+		}
+	}
+
+	for op := 0; op < 400; op++ {
+		if len(liveSet) == 0 || (rng.Intn(3) != 0 && len(liveSet) < 40) {
+			fi := rng.Intn(len(pool))
+			slot, err := d.AddPath(pool[fi])
+			if err != nil {
+				t.Fatalf("op %d: AddPath: %v", op, err)
+			}
+			liveSet = append(liveSet, liveEntry{slot, fi})
+		} else {
+			k := rng.Intn(len(liveSet))
+			if err := d.RemovePath(liveSet[k].slot); err != nil {
+				t.Fatalf("op %d: RemovePath: %v", op, err)
+			}
+			liveSet[k] = liveSet[len(liveSet)-1]
+			liveSet = liveSet[:len(liveSet)-1]
+		}
+		if op%7 == 0 || op > 380 {
+			check(op)
+		}
+	}
+	check(400)
+}
+
+// TestDynamicSlotRecycling checks slots are reused and stale adjacency
+// never leaks into a recycled slot.
+func TestDynamicSlotRecycling(t *testing.T) {
+	g, fam, err := gen.Fig1Staircase(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDynamic(g)
+	s0, err := d.AddPath(fam[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPath(fam[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemovePath(s0); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := d.AddPath(fam[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s0 {
+		t.Fatalf("slot not recycled: got %d, want %d", s2, s0)
+	}
+	// fam[2] of the staircase conflicts with fam[1]; the recycled slot's
+	// adjacency must be exactly that, nothing stale.
+	if d.Degree(s2) != 1 {
+		t.Fatalf("recycled slot degree = %d, want 1", d.Degree(s2))
+	}
+	if err := d.RemovePath(s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemovePath(s2); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if _, err := d.AddPath(nil); err == nil {
+		t.Fatal("nil path accepted")
+	}
+}
+
+// TestDynamicGrowth pushes past several capacity doublings.
+func TestDynamicGrowth(t *testing.T) {
+	g, fam, err := gen.Fig1Staircase(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDynamic(g)
+	// The staircase conflict graph is complete: after inserting k copies
+	// of the family every pair of slots sharing the ladder arc conflicts.
+	total := 0
+	for rep := 0; rep < 20; rep++ {
+		for _, p := range fam {
+			if _, err := d.AddPath(p); err != nil {
+				t.Fatal(err)
+			}
+			total++
+		}
+	}
+	if d.NumLive() != total || d.NumSlots() != total {
+		t.Fatalf("live = %d, slots = %d, want %d", d.NumLive(), d.NumSlots(), total)
+	}
+	snap, _ := d.Snapshot()
+	want := FromFamily(g, d.Family())
+	if snap.NumEdges() != want.NumEdges() {
+		t.Fatalf("edges = %d, want %d", snap.NumEdges(), want.NumEdges())
+	}
+	if lb := d.LowerBound(); lb != load.Pi(g, d.Family()) {
+		t.Fatalf("lower bound %d, want %d", lb, load.Pi(g, d.Family()))
+	}
+}

@@ -52,11 +52,15 @@ func newResult(colors []int, pi int) *Result {
 // Method identifies which algorithm produced a coloring.
 type Method string
 
-// Methods reported by ColorDAG.
+// Methods reported by ColorDAG and the incremental engine.
 const (
 	MethodTheorem1 Method = "theorem1" // exact, w = π
 	MethodTheorem6 Method = "theorem6" // w ≤ ⌈4π/3⌉
 	MethodDSATUR   Method = "dsatur"   // heuristic fallback
+	// MethodIncremental marks colorings maintained online by an
+	// Incremental colorer (first-fit + bounded repair + slack-gated
+	// full recolor) rather than computed by a one-shot theorem.
+	MethodIncremental Method = "incremental"
 )
 
 // ColorDAG colors fam on the DAG g with the strongest applicable result:

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+
+	"wavedag/internal/conflict"
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+)
+
+// DefaultSlack is the recoloring slack used when a caller passes a
+// non-positive value: the incremental coloring is allowed to drift this
+// many wavelengths above the incremental lower bound before a full
+// recolor is forced.
+const DefaultSlack = 2
+
+// defaultRecolorBudget bounds the local repair on removal: only color
+// classes at most this large are candidates for being recolored away.
+const defaultRecolorBudget = 4
+
+// Incremental maintains a proper wavelength assignment for a mutable
+// dipath family — the coloring layer of the dynamic provisioning engine.
+// It owns a conflict.Dynamic and keeps three invariants across Add and
+// Remove:
+//
+//   - the assignment is always proper (Verify-clean against a snapshot);
+//   - NumLambda counts the distinct wavelengths in use exactly;
+//   - NumLambda ≤ LowerBound() + slack whenever the one-shot pipeline
+//     (ColorDAG) can achieve that — when it cannot (e.g. Theorem 6
+//     instances where χ > π), the full recolor result itself becomes the
+//     ceiling and recoloring is suppressed until the incremental state
+//     drifts above it.
+//
+// Mechanics: a new path is first-fit colored against its conflict
+// neighbourhood (a palette scratch reset via a touched-list, so the cost
+// is O(degree) not O(n)); a removal frees the slot's color and then runs
+// a bounded local repair that tries to recolor the highest color classes
+// away while they are small; when NumLambda still drifts past the slack,
+// the whole live family is recolored from scratch through ColorDAG —
+// the strongest applicable theorem — and the incremental state rebuilt
+// from its answer.
+type Incremental struct {
+	g   *digraph.Digraph
+	dyn *conflict.Dynamic
+
+	colors  []int   // slot -> wavelength; -1 = free slot
+	classes [][]int // wavelength -> live slots using it (unordered)
+	posIn   []int   // slot -> index in classes[colors[slot]]
+	numUsed int     // distinct wavelengths in use
+
+	slack         int
+	recolorBudget int
+
+	// used/touched is the first-fit palette scratch.
+	used    []bool
+	touched []int
+
+	fullRecolors int
+	futileNum    int // NumLambda after a full recolor that could not reach lb+slack; 0 = none
+	futileLB     int // the lower bound at that futile recolor; a drop below it retries
+	futileTTL    int // removals left before the futile ceiling expires and retries
+}
+
+// NewIncremental returns an empty incremental colorer for dipaths of g.
+// slack <= 0 selects DefaultSlack.
+func NewIncremental(g *digraph.Digraph, slack int) *Incremental {
+	if slack <= 0 {
+		slack = DefaultSlack
+	}
+	return &Incremental{
+		g:             g,
+		dyn:           conflict.NewDynamic(g),
+		slack:         slack,
+		recolorBudget: defaultRecolorBudget,
+	}
+}
+
+// Dynamic exposes the underlying mutable conflict graph (read-only use).
+func (ic *Incremental) Dynamic() *conflict.Dynamic { return ic.dyn }
+
+// NumLambda returns the number of distinct wavelengths currently in use.
+func (ic *Incremental) NumLambda() int { return ic.numUsed }
+
+// LowerBound returns the incremental χ lower bound (max arc load).
+func (ic *Incremental) LowerBound() int { return ic.dyn.LowerBound() }
+
+// Slack returns the configured recoloring slack.
+func (ic *Incremental) Slack() int { return ic.slack }
+
+// FullRecolors returns how many times the slack gate forced a full
+// from-scratch recoloring — the measure of how incremental the run was.
+func (ic *Incremental) FullRecolors() int { return ic.fullRecolors }
+
+// Wavelength returns the wavelength of slot s, or -1 when s is free.
+func (ic *Incremental) Wavelength(s int) int {
+	if s < 0 || s >= len(ic.colors) {
+		return -1
+	}
+	return ic.colors[s]
+}
+
+// Add inserts p into the conflict graph, first-fit colors it, and
+// returns its slot. A full recolor is triggered only when the number of
+// wavelengths drifts past the slack gate.
+func (ic *Incremental) Add(p *dipath.Path) (int, error) {
+	s, err := ic.dyn.AddPath(p)
+	if err != nil {
+		return -1, err
+	}
+	ic.ensureSlot(s)
+	ic.setColor(s, ic.firstFit(s, ic.dyn.NumSlots()))
+	ic.maybeFullRecolor()
+	return s, nil
+}
+
+// Remove deletes the dipath in slot s, repairs locally, and recolors
+// fully only if the slack gate fires (the lower bound may have dropped).
+func (ic *Incremental) Remove(s int) error {
+	if s < 0 || s >= len(ic.colors) || ic.colors[s] < 0 {
+		return fmt.Errorf("core: slot %d is not colored", s)
+	}
+	ic.clearColor(s)
+	if err := ic.dyn.RemovePath(s); err != nil {
+		return err
+	}
+	ic.localRepair()
+	// Removals only ever make the instance easier, so they erode the
+	// futile ceiling: after enough of them the from-scratch pipeline is
+	// given another chance even if the lower bound has not moved.
+	if ic.futileNum > 0 {
+		if ic.futileTTL--; ic.futileTTL <= 0 {
+			ic.futileNum = 0
+		}
+	}
+	ic.maybeFullRecolor()
+	return nil
+}
+
+// Colors returns the wavelengths of the given slots, parallel to slots.
+func (ic *Incremental) Colors(slots []int) []int {
+	out := make([]int, len(slots))
+	for i, s := range slots {
+		out[i] = ic.Wavelength(s)
+	}
+	return out
+}
+
+// ensureSlot grows the per-slot tables to cover slot s.
+func (ic *Incremental) ensureSlot(s int) {
+	for len(ic.colors) <= s {
+		ic.colors = append(ic.colors, -1)
+		ic.posIn = append(ic.posIn, 0)
+	}
+	// The palette scratch must fit any feasible color: at most one per
+	// live slot, plus one for the first-fit overflow probe.
+	for len(ic.used) <= ic.dyn.NumSlots()+1 {
+		ic.used = append(ic.used, false)
+	}
+}
+
+// firstFit returns the smallest color < limit not used by any conflict
+// neighbour of s. The scratch reset is O(degree) via the touched-list.
+func (ic *Incremental) firstFit(s, limit int) int {
+	ic.touched = ic.touched[:0]
+	ic.dyn.ForEachConflict(s, func(t int) {
+		if c := ic.colors[t]; c >= 0 && c < limit && !ic.used[c] {
+			ic.used[c] = true
+			ic.touched = append(ic.touched, c)
+		}
+	})
+	c := 0
+	for c < limit && ic.used[c] {
+		c++
+	}
+	for _, t := range ic.touched {
+		ic.used[t] = false
+	}
+	if c >= limit {
+		return -1
+	}
+	return c
+}
+
+// setColor assigns color c to slot s and updates the class bookkeeping.
+func (ic *Incremental) setColor(s, c int) {
+	for len(ic.classes) <= c {
+		ic.classes = append(ic.classes, nil)
+	}
+	ic.colors[s] = c
+	if len(ic.classes[c]) == 0 {
+		ic.numUsed++
+	}
+	ic.posIn[s] = len(ic.classes[c])
+	ic.classes[c] = append(ic.classes[c], s)
+}
+
+// clearColor removes slot s from its color class (swap-delete).
+func (ic *Incremental) clearColor(s int) {
+	c := ic.colors[s]
+	class := ic.classes[c]
+	i, last := ic.posIn[s], len(class)-1
+	class[i] = class[last]
+	ic.posIn[class[i]] = i
+	ic.classes[c] = class[:last]
+	ic.colors[s] = -1
+	if last == 0 {
+		ic.numUsed--
+	}
+}
+
+// localRepair is the bounded recoloring pass after a removal: while the
+// highest wavelength's class has at most recolorBudget members, try to
+// first-fit each member into a strictly lower wavelength; a class that
+// empties gives the wavelength back. Members that cannot move stay put,
+// so the assignment remains proper throughout.
+func (ic *Incremental) localRepair() {
+	// The removal may have emptied an interior color class; re-densify
+	// first (repair moves below only ever drain the top class, so no new
+	// interior holes appear afterwards).
+	ic.compactPalette()
+	for {
+		cmax := len(ic.classes) - 1
+		for cmax >= 0 && len(ic.classes[cmax]) == 0 {
+			cmax--
+		}
+		ic.classes = ic.classes[:cmax+1]
+		if cmax < 1 || len(ic.classes[cmax]) > ic.recolorBudget {
+			return
+		}
+		moved := true
+		for len(ic.classes[cmax]) > 0 && moved {
+			moved = false
+			for _, s := range ic.classes[cmax] {
+				if c := ic.firstFit(s, cmax); c >= 0 {
+					ic.clearColor(s)
+					ic.setColor(s, c)
+					moved = true
+					break // class slice mutated; restart the scan
+				}
+			}
+		}
+		if len(ic.classes[cmax]) > 0 {
+			return // stuck members keep the wavelength alive
+		}
+	}
+}
+
+// compactPalette keeps the palette dense (every used wavelength index is
+// < NumLambda) by renaming the top color class into the lowest empty
+// color. A wholesale relabel is always proper: members of one class are
+// pairwise non-adjacent and the target color is used by nobody. Without
+// this, a removal that empties an interior class would leave live
+// wavelength indices above the reported count, making Feasible checks
+// against a channel budget misleading.
+func (ic *Incremental) compactPalette() {
+	for {
+		cmax := len(ic.classes) - 1
+		for cmax >= 0 && len(ic.classes[cmax]) == 0 {
+			cmax--
+		}
+		ic.classes = ic.classes[:cmax+1]
+		hole := -1
+		for c := 0; c < cmax; c++ {
+			if len(ic.classes[c]) == 0 {
+				hole = c
+				break
+			}
+		}
+		if hole < 0 {
+			return
+		}
+		members := append([]int(nil), ic.classes[cmax]...)
+		for _, s := range members {
+			ic.clearColor(s)
+			ic.setColor(s, hole)
+		}
+	}
+}
+
+// maybeFullRecolor enforces the slack gate: when the number of
+// wavelengths in use exceeds LowerBound()+slack, the live family is
+// recolored from scratch with the strongest applicable theorem. If even
+// the from-scratch pipeline cannot reach the gate (χ > π instances), its
+// answer becomes the ceiling (futileNum) and further full recolors are
+// suppressed while the ceiling is plausibly still current. Three things
+// invalidate it: the incremental state drifting above the ceiling, the
+// lower bound dropping below the one recorded at the futile attempt,
+// and — because χ never increases under removals but the other two
+// signals may miss a shrinking family — a TTL of removals (a fraction
+// of the family size at the futile recolor), which bounds both how
+// stale the ceiling can get and how often a hard instance re-pays the
+// full pipeline.
+func (ic *Incremental) maybeFullRecolor() {
+	lb := ic.dyn.LowerBound()
+	if ic.numUsed <= lb+ic.slack {
+		ic.futileNum = 0
+		return
+	}
+	// The ceiling carries slack headroom: a futile recolor happens at
+	// whatever the churn's current size is, and without headroom the very
+	// next arrival would cross the fresh ceiling and recolor again —
+	// steady add/remove oscillation on a hard instance would degenerate
+	// to rebuild-per-event.
+	if ic.futileNum > 0 && ic.numUsed <= ic.futileNum+ic.slack && lb >= ic.futileLB {
+		return
+	}
+	ic.fullRecolor()
+}
+
+// fullRecolor reassigns every live slot from a from-scratch ColorDAG run
+// (falling back to DSATUR on the conflict snapshot if the pipeline
+// errors, which keeps the session alive on adversarial inputs).
+func (ic *Incremental) fullRecolor() {
+	slots := ic.dyn.LiveSlots()
+	fam := make(dipath.Family, len(slots))
+	for i, s := range slots {
+		fam[i] = ic.dyn.Path(s)
+	}
+	var colors []int
+	if res, _, err := ColorDAG(ic.g, fam); err == nil {
+		colors = res.Colors
+	} else {
+		snap, _ := ic.dyn.Snapshot()
+		colors = snap.DSATURColoring()
+	}
+	// Rebuild the class bookkeeping from the fresh assignment, then
+	// re-densify: Theorem 6 colorings can skip indices (a permutation
+	// cycle's freed base color may go unused), and the palette-density
+	// invariant must hold for Wavelength/Feasible consumers.
+	for _, s := range slots {
+		ic.colors[s] = -1
+	}
+	ic.classes = ic.classes[:0]
+	ic.numUsed = 0
+	for i, s := range slots {
+		ic.setColor(s, colors[i])
+	}
+	ic.compactPalette()
+	ic.fullRecolors++
+	if lb := ic.dyn.LowerBound(); ic.numUsed > lb+ic.slack {
+		ic.futileNum, ic.futileLB = ic.numUsed, lb
+		if ic.futileTTL = ic.dyn.NumLive() / 4; ic.futileTTL < 8 {
+			ic.futileTTL = 8
+		}
+	} else {
+		ic.futileNum = 0
+	}
+}

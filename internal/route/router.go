@@ -190,7 +190,7 @@ func (r *Router) MinLoadSequential(reqs []Request) (dipath.Family, error) {
 	t := load.NewTracker(r.g)
 	fam := make(dipath.Family, 0, len(reqs))
 	for _, req := range reqs {
-		p, err := r.bottleneckPath(req, t)
+		p, err := r.MinLoadPath(req, t)
 		if err != nil {
 			return nil, err
 		}
@@ -200,9 +200,12 @@ func (r *Router) MinLoadSequential(reqs []Request) (dipath.Family, error) {
 	return fam, nil
 }
 
-// bottleneckPath finds a dipath src->dst minimising (max load along the
-// path, then hops) via lexicographic Dijkstra on a DAG-sized graph.
-func (r *Router) bottleneckPath(req Request, t *load.Tracker) (*dipath.Path, error) {
+// MinLoadPath returns a dipath for req minimising (maximum arc load
+// along the path against the loads tracked by t, then hop count) via
+// lexicographic Dijkstra. It does not modify t — callers owning a
+// long-lived Tracker (wdm sessions, MinLoadSequential) add the chosen
+// path themselves.
+func (r *Router) MinLoadPath(req Request, t *load.Tracker) (*dipath.Path, error) {
 	g := r.g
 	n := g.NumVertices()
 	if req.Src < 0 || req.Dst < 0 || int(req.Src) >= n || int(req.Dst) >= n {

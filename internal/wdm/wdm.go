@@ -58,28 +58,37 @@ type Provisioning struct {
 	Pi          int           // load of the routing
 	Method      core.Method   // coloring algorithm that was applicable
 	Feasible    bool          // NumLambda fits the network capacity
-	ADMs        int           // add-drop multiplexers: lightpath endpoints
+	// ADMs counts add-drop multiplexers as distinct (endpoint,
+	// wavelength) lightpath terminations: lightpaths chaining through a
+	// node on one wavelength share the ADM there.
+	ADMs int
 }
 
-// Provision runs routing (per policy) then wavelength assignment (per the
-// strongest applicable theorem) for the requests.
+// Provision runs routing (per the policy's registered strategy) then
+// wavelength assignment (per the strongest applicable theorem) for the
+// requests. It is a thin wrapper over a throwaway Session with the
+// "full" coloring strategy: adds route and account load incrementally,
+// and the single Provisioning() call at the end colors once from
+// scratch — identical results to the historical one-shot pipeline.
 func (n *Network) Provision(reqs []route.Request, policy RoutingPolicy) (*Provisioning, error) {
-	var fam dipath.Family
-	var err error
-	switch policy {
-	case RouteShortest:
-		fam, err = route.ShortestPaths(n.Topology, reqs)
-	case RouteMinLoad:
-		fam, err = route.MinLoadSequential(n.Topology, reqs)
-	case RouteUPP:
-		fam, err = route.UPPRoutes(n.Topology, reqs)
-	default:
-		return nil, fmt.Errorf("wdm: unknown routing policy %v", policy)
-	}
+	strat, err := policy.Strategy()
 	if err != nil {
-		return nil, fmt.Errorf("wdm: routing: %w", err)
+		return nil, err
 	}
-	return n.Assign(fam)
+	s, err := n.NewSession(
+		WithRoutingStrategy(strat),
+		WithColoringStrategyName(ColoringFull),
+		WithCapacityHint(len(reqs)),
+	)
+	if err != nil {
+		return nil, err // already layer-labelled by NewSession
+	}
+	for _, req := range reqs {
+		if _, err := s.Add(req); err != nil {
+			return nil, err
+		}
+	}
+	return s.Provisioning()
 }
 
 // Assign runs only the wavelength-assignment half on pre-routed dipaths.
@@ -94,7 +103,7 @@ func (n *Network) Assign(fam dipath.Family) (*Provisioning, error) {
 		NumLambda:   res.NumColors,
 		Pi:          res.Pi,
 		Method:      method,
-		ADMs:        2 * len(fam),
+		ADMs:        countADMs(fam, res.Colors),
 	}
 	p.Feasible = n.Wavelengths == 0 || p.NumLambda <= n.Wavelengths
 	return p, nil

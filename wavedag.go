@@ -48,21 +48,58 @@
 //     connected components first — χ and ω of a disjoint union are the
 //     maxima over components — so the exponential searches run on small
 //     subproblems, dispatched to a runtime.NumCPU()-bounded worker pool
-//     when components are large enough to pay for it.
+//     when components are large enough to pay for it. Small components
+//     are canonicalized (exact adjacency bitmap) and solver results
+//     memoized, so disjoint unions of identical instances — replicated
+//     workloads, batched multi-tenant requests — pay for one solve.
 //   - Inner loops are allocation-free: candidate sets and palettes are
 //     bitsets (Tomita-style MaxClique with word-parallel coloring
 //     bounds), the exact-coloring search maintains vertex saturation
-//     incrementally instead of recomputing it per node, and neighbour
-//     iteration uses ConflictGraph.ForEachNeighbor rather than
-//     slice-returning Neighbors.
+//     incrementally instead of recomputing it per node (its workspaces
+//     are recycled through a sync.Pool across components), and
+//     neighbour iteration uses ConflictGraph.ForEachNeighbor rather
+//     than slice-returning Neighbors.
 //   - Batch routing goes through NewRouter, which reuses epoch-stamped
 //     BFS/Dijkstra state across requests instead of allocating per
 //     request; incremental load bookkeeping goes through NewLoadTracker.
 //
+// # Sessions: the dynamic provisioning engine
+//
+// One-shot Provision pays the full route→conflict→color pipeline per
+// call. Churning workloads — request arrivals and teardowns at steady
+// state — instead open a Session (Network.NewSession), which maintains
+// every layer incrementally:
+//
+//   - routing state (Router / UPP tables) persists across requests;
+//   - arc loads live in a LoadTracker (O(path) per update, O(1) π);
+//   - the conflict graph is mutable: inserting a dipath touches only
+//     the paths sharing its arcs (arc-indexed overlap detection), not
+//     all n² pairs;
+//   - wavelengths are maintained online: a new path is first-fit
+//     colored against its neighbourhood, a removal runs a bounded local
+//     repair, and only when the count drifts past a configurable slack
+//     above the incrementally maintained lower bound does the engine
+//     fall back to a full from-scratch recolor (the strongest
+//     applicable theorem).
+//
+// Session.Add/Remove/Reroute are the operations; Session.Verify checks
+// the live assignment against the conflict invariant, and
+// Session.Provisioning materialises a Provisioning snapshot. Routing
+// and coloring are pluggable strategies resolved from registries
+// (RegisterRoutingStrategy / RegisterColoringStrategy); the legacy
+// RoutingPolicy constants resolve to the built-in strategies, and
+// Provision itself is a thin wrapper over a throwaway session with the
+// "full" (defer-and-solve-once) coloring strategy. The randomized churn
+// equivalence tests pin the session to the one-shot pipeline:
+// Verify-clean after every operation, exact π, and λ within the slack
+// of the from-scratch answer.
+//
 // BENCH_PR1.json records the measured baseline (ns/op, B/op, allocs/op,
 // before/after) for the E1–E12 experiment pipelines and the large-
-// instance workloads of cmd/bench; `make benchsmoke` keeps every
-// benchmark compiling and running.
+// instance workloads of cmd/bench; BENCH_PR2.json adds the churn
+// workloads (session vs rebuild-from-scratch per event, with
+// configurable hold times); `make benchsmoke` keeps every benchmark
+// compiling and running.
 //
 // The sub-packages under internal/ hold the implementation; this package
 // re-exports the stable API.
@@ -112,7 +149,111 @@ type (
 	// LoadTracker maintains arc loads incrementally under path
 	// insertion/removal (see NewLoadTracker).
 	LoadTracker = load.Tracker
+	// Session is a dynamic provisioning run: Add/Remove/Reroute maintain
+	// routing, load, conflict and wavelength state incrementally (open
+	// one with Network.NewSession).
+	Session = wdm.Session
+	// SessionID identifies a live request inside a Session.
+	SessionID = wdm.SessionID
+	// SessionOption configures Network.NewSession.
+	SessionOption = wdm.SessionOption
+	// RoutingPolicy selects a built-in routing strategy for Provision
+	// and WithRoutingPolicy.
+	RoutingPolicy = wdm.RoutingPolicy
+	// RoutingStrategy is the pluggable request→dipath layer of sessions;
+	// register implementations with RegisterRoutingStrategy.
+	RoutingStrategy = wdm.RoutingStrategy
+	// ColoringStrategy is the pluggable wavelength-maintenance layer of
+	// sessions; register implementations with RegisterColoringStrategy.
+	ColoringStrategy = wdm.ColoringStrategy
+	// DynamicConflictGraph is a mutable conflict graph maintained under
+	// dipath insertion/removal (see NewDynamicConflictGraph).
+	DynamicConflictGraph = conflict.Dynamic
+	// IncrementalColorer maintains a wavelength assignment online over a
+	// mutable conflict graph (see NewIncrementalColorer).
+	IncrementalColorer = core.Incremental
 )
+
+// Routing policies accepted by Network.Provision and WithRoutingPolicy.
+const (
+	RouteShortest = wdm.RouteShortest
+	RouteMinLoad  = wdm.RouteMinLoad
+	RouteUPP      = wdm.RouteUPP
+)
+
+// Names of the built-in coloring strategies.
+const (
+	ColoringIncremental = wdm.ColoringIncremental
+	ColoringFull        = wdm.ColoringFull
+)
+
+// Session options, re-exported from the wdm layer.
+
+// WithRoutingStrategy selects a session's routing strategy.
+func WithRoutingStrategy(s RoutingStrategy) SessionOption { return wdm.WithRoutingStrategy(s) }
+
+// WithRoutingPolicy selects the routing strategy registered for a
+// built-in policy constant.
+func WithRoutingPolicy(p RoutingPolicy) SessionOption { return wdm.WithRoutingPolicy(p) }
+
+// WithColoringStrategy selects a session's coloring strategy.
+func WithColoringStrategy(s ColoringStrategy) SessionOption { return wdm.WithColoringStrategy(s) }
+
+// WithColoringStrategyName selects a registered coloring strategy by
+// name (ColoringIncremental or ColoringFull for the built-ins).
+func WithColoringStrategyName(name string) SessionOption {
+	return wdm.WithColoringStrategyName(name)
+}
+
+// WithSlack sets how many wavelengths the incremental coloring may
+// drift above its lower bound before a full recolor is forced.
+func WithSlack(slack int) SessionOption { return wdm.WithSlack(slack) }
+
+// WithCapacityHint pre-sizes the session for the expected number of
+// simultaneously live requests.
+func WithCapacityHint(n int) SessionOption { return wdm.WithCapacityHint(n) }
+
+// Strategy registries, re-exported from the wdm layer.
+
+// RegisterRoutingStrategy adds a routing strategy to the registry.
+func RegisterRoutingStrategy(s RoutingStrategy) error { return wdm.RegisterRoutingStrategy(s) }
+
+// RegisterColoringStrategy adds a coloring strategy to the registry.
+func RegisterColoringStrategy(s ColoringStrategy) error { return wdm.RegisterColoringStrategy(s) }
+
+// LookupRoutingStrategy returns the registered routing strategy named
+// name.
+func LookupRoutingStrategy(name string) (RoutingStrategy, bool) {
+	return wdm.LookupRoutingStrategy(name)
+}
+
+// LookupColoringStrategy returns the registered coloring strategy named
+// name.
+func LookupColoringStrategy(name string) (ColoringStrategy, bool) {
+	return wdm.LookupColoringStrategy(name)
+}
+
+// RoutingStrategyNames returns the registered routing strategy names,
+// sorted.
+func RoutingStrategyNames() []string { return wdm.RoutingStrategyNames() }
+
+// ColoringStrategyNames returns the registered coloring strategy names,
+// sorted.
+func ColoringStrategyNames() []string { return wdm.ColoringStrategyNames() }
+
+// NewDynamicConflictGraph returns an empty mutable conflict graph for
+// dipaths of g: AddPath/RemovePath maintain adjacency with arc-indexed
+// overlap detection and an O(1) χ/ω lower bound.
+func NewDynamicConflictGraph(g *Graph) *DynamicConflictGraph {
+	return conflict.NewDynamic(g)
+}
+
+// NewIncrementalColorer returns an empty incremental wavelength
+// maintainer for dipaths of g; slack <= 0 selects the default drift
+// allowance before a full recolor is forced.
+func NewIncrementalColorer(g *Graph, slack int) *IncrementalColorer {
+	return core.NewIncremental(g, slack)
+}
 
 // Methods reported by Color.
 const (

@@ -89,3 +89,70 @@ func TestFacadeArcLoads(t *testing.T) {
 		t.Fatalf("loads = %v", loads)
 	}
 }
+
+// TestSessionFacade drives the dynamic provisioning engine through the
+// public API: open a session, churn requests, verify, snapshot.
+func TestSessionFacade(t *testing.T) {
+	g := wavedag.NewGraph(4)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	g.MustAddArc(2, 3)
+	net := &wavedag.Network{Topology: g, Wavelengths: 8}
+	s, err := net.NewSession(wavedag.WithRoutingPolicy(wavedag.RouteShortest), wavedag.WithSlack(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := s.Add(wavedag.Request{Src: 0, Dst: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Add(wavedag.Request{Src: 1, Dst: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pi() != 2 {
+		t.Fatalf("π = %d, want 2", s.Pi())
+	}
+	if lambda, err := s.NumLambda(); err != nil || lambda != 2 {
+		t.Fatalf("λ = %d (%v), want 2", lambda, err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(id1); err != nil {
+		t.Fatal(err)
+	}
+	if lambda, err := s.NumLambda(); err != nil || lambda != 1 {
+		t.Fatalf("λ = %d (%v) after removal, want 1", lambda, err)
+	}
+	prov, err := s.Provisioning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prov.Paths) != 1 || !prov.Feasible {
+		t.Fatalf("snapshot: %d paths, feasible=%v", len(prov.Paths), prov.Feasible)
+	}
+	if w, err := s.Wavelength(id2); err != nil || w < 0 {
+		t.Fatalf("wavelength of live id: %d (%v)", w, err)
+	}
+	// The incremental layers are also usable standalone.
+	dyn := wavedag.NewDynamicConflictGraph(g)
+	p := wavedag.MustPath(g, 0, 1, 2)
+	slot, err := dyn.AddPath(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.LowerBound() != 1 || dyn.NumLive() != 1 {
+		t.Fatalf("dyn: lb=%d live=%d", dyn.LowerBound(), dyn.NumLive())
+	}
+	if err := dyn.RemovePath(slot); err != nil {
+		t.Fatal(err)
+	}
+	ic := wavedag.NewIncrementalColorer(g, 0)
+	if _, err := ic.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	if ic.NumLambda() != 1 {
+		t.Fatalf("colorer λ = %d", ic.NumLambda())
+	}
+}
