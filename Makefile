@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify benchsmoke bench test
+.PHONY: verify benchsmoke benchsmoke-sharded bench test
 
 verify:
 	$(GO) build ./...
@@ -17,6 +17,11 @@ test: verify
 benchsmoke:
 	$(GO) vet ./...
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Sharded-engine smoke: the concurrent churn benchmarks only, at two
+# GOMAXPROCS settings, so the batch fan-out path cannot silently rot.
+benchsmoke-sharded:
+	$(GO) test -run=NONE -bench='Sharded|PoolCalibration' -benchtime=1x -cpu=1,4 ./...
 
 bench:
 	$(GO) run ./cmd/bench -benchtime 1s -out bench-latest.json

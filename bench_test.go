@@ -367,3 +367,61 @@ func BenchmarkSessionChurn(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkShardedChurn measures the concurrent engine's per-event cost
+// (batched remove+add pairs through ApplyBatch) on a multi-component
+// topology, through the public API. Run with -cpu=1,4 to see the
+// worker-count axis; cmd/bench's churn/sharded entries are the
+// calibrated snapshot form.
+func BenchmarkShardedChurn(b *testing.B) {
+	parts := make([]gen.Instance, 4)
+	for i := range parts {
+		g, err := gen.RandomNoInternalCycleDAG(40, 8, 8, 0.2, int64(21+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		parts[i] = gen.Instance{G: g}
+	}
+	topo, _ := gen.DisjointUnion(parts...)
+	net := &wavedag.Network{Topology: topo}
+	eng, err := net.NewShardedEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := wavedag.NewRouter(topo).AllToAll()
+	const liveTarget = 400
+	ids := make([]wavedag.ShardedID, 0, liveTarget)
+	for i := 0; len(ids) < liveTarget; i++ {
+		id, err := eng.Add(pool[(i*31)%len(pool)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	const batch = 64
+	ops := make([]wavedag.BatchOp, 0, batch)
+	slots := make([]int, 0, batch/2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := (i * 17) % len(ids)
+		ops = append(ops, wavedag.RemoveOp(ids[k]), wavedag.AddOp(pool[(i*13)%len(pool)]))
+		slots = append(slots, k)
+		if len(ops) == batch || i == b.N-1 {
+			results := eng.ApplyBatch(ops)
+			for j, res := range results {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				if j%2 == 1 {
+					ids[slots[j/2]] = res.ID
+				}
+			}
+			ops, slots = ops[:0], slots[:0]
+		}
+	}
+	b.StopTimer()
+	if err := eng.Verify(); err != nil {
+		b.Fatal(err)
+	}
+}

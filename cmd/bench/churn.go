@@ -5,7 +5,9 @@ package main
 
 import (
 	"container/heap"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"wavedag/internal/digraph"
@@ -79,7 +81,14 @@ func (d *churnDriver) nextOp() churnOp {
 // one-shot Provision pipeline per event.
 func churnBenches(label string, g *digraph.Digraph, liveTarget int, seed int64) []bench {
 	pool := route.NewRouter(g).AllToAll()
-	session := bench{"churn/session/" + label, func(b *testing.B) {
+	return []bench{churnSessionBench("churn/session/"+label, g, pool, liveTarget, seed),
+		churnScratchBench("churn/scratch/"+label, g, pool, liveTarget, seed)}
+}
+
+// churnSessionBench measures the per-event cost of a single dynamic
+// session replaying the driver's trace.
+func churnSessionBench(name string, g *digraph.Digraph, pool []route.Request, liveTarget int, seed int64) bench {
+	return bench{name, func(b *testing.B) {
 		b.ReportAllocs()
 		net := &wdm.Network{Topology: g}
 		s, err := net.NewSession()
@@ -115,7 +124,10 @@ func churnBenches(label string, g *digraph.Digraph, liveTarget int, seed int64) 
 			b.Fatal(err)
 		}
 	}}
-	scratch := bench{"churn/scratch/" + label, func(b *testing.B) {
+}
+
+func churnScratchBench(name string, g *digraph.Digraph, pool []route.Request, liveTarget int, seed int64) bench {
+	return bench{name, func(b *testing.B) {
 		b.ReportAllocs()
 		net := &wdm.Network{Topology: g}
 		d := newChurnDriver(pool, float64(liveTarget), seed)
@@ -146,5 +158,96 @@ func churnBenches(label string, g *digraph.Digraph, liveTarget int, seed int64) 
 			}
 		}
 	}}
-	return []bench{session, scratch}
+}
+
+// shardedChurnBench measures the sharded engine's per-event cost on a
+// multi-component topology: the driver's trace is cut into ApplyBatch
+// batches (batchSize events each) and the engine fans each batch out to
+// its shards on `workers` workers with GOMAXPROCS pinned to the same
+// value — the worker-count axis of the BENCH_PR3 sweep. ns/op is per
+// event, so events/sec = 1e9/ns_per_op.
+func shardedChurnBench(name string, g *digraph.Digraph, pool []route.Request, liveTarget, batchSize, workers int, seed int64) bench {
+	return bench{name, func(b *testing.B) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(workers))
+		b.ReportAllocs()
+		net := &wdm.Network{Topology: g}
+		eng, err := net.NewShardedEngine(wdm.WithShardWorkers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := newChurnDriver(pool, float64(liveTarget), seed)
+		ids := make(map[int]wdm.ShardedID, liveTarget)
+		// Batch staging: removes of a request whose add is still staged in
+		// the same batch force an early flush (the id is unknown until the
+		// batch applies).
+		ops := make([]wdm.BatchOp, 0, batchSize)
+		seqs := make([]int, 0, batchSize)
+		pending := make(map[int]bool, batchSize)
+		staged := 0 // net live-count delta of the staged ops
+		flush := func() {
+			if len(ops) == 0 {
+				return
+			}
+			for k, res := range eng.ApplyBatch(ops) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				if ops[k].Kind == wdm.BatchAdd {
+					ids[seqs[k]] = res.ID
+				}
+			}
+			ops, seqs = ops[:0], seqs[:0]
+			staged = 0
+			clear(pending)
+		}
+		stage := func(op churnOp) {
+			if op.add {
+				pending[op.seq] = true
+				ops = append(ops, wdm.AddOp(op.req))
+				seqs = append(seqs, op.seq)
+				staged++
+			} else {
+				if pending[op.seq] {
+					flush()
+				}
+				ops = append(ops, wdm.RemoveOp(ids[op.seq]))
+				seqs = append(seqs, -1)
+				staged--
+				delete(ids, op.seq)
+			}
+			if len(ops) >= batchSize {
+				flush()
+			}
+		}
+		for eng.Len()+staged < liveTarget {
+			stage(d.nextOp())
+		}
+		flush()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stage(d.nextOp())
+		}
+		flush()
+		b.StopTimer()
+		if err := eng.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}}
+}
+
+// shardedChurnBenches builds the worker-count sweep for one
+// multi-component topology, plus a single-session comparator on the
+// same union topology (the sequential baseline the sharding is
+// measured against).
+func shardedChurnBenches(label string, g *digraph.Digraph, liveTarget, batchSize int, cpus []int, seed int64) []bench {
+	// One all-pairs reachability sweep shared by every entry.
+	pool := route.NewRouter(g).AllToAll()
+	benches := []bench{
+		churnSessionBench("churn/union-session/"+label, g, pool, liveTarget, seed),
+	}
+	for _, c := range cpus {
+		benches = append(benches, shardedChurnBench(
+			fmt.Sprintf("churn/sharded/%s/cpus=%d", label, c), g, pool, liveTarget, batchSize, c, seed))
+	}
+	return benches
 }

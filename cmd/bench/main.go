@@ -18,11 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"wavedag/internal/conflict"
 	"wavedag/internal/core"
+	"wavedag/internal/digraph"
 	"wavedag/internal/gen"
 	"wavedag/internal/load"
 	"wavedag/internal/route"
@@ -43,7 +46,13 @@ func main() {
 	out := flag.String("out", "", "write JSON snapshot to this file (default stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark")
 	large := flag.Bool("large", true, "include the large-instance workloads")
+	cpus := flag.String("cpus", "1,2,4", "comma-separated worker counts for the sharded churn sweep")
 	flag.Parse()
+
+	cpuList, err := parseCPUs(*cpus)
+	if err != nil {
+		fatal(err)
+	}
 
 	// testing.Benchmark honours this global.
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -65,7 +74,7 @@ func main() {
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
 
-	for _, b := range suite(*large) {
+	for _, b := range suite(*large, cpuList) {
 		run(b.name, b.fn)
 	}
 
@@ -88,17 +97,46 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// parseCPUs parses the -cpus sweep list ("1,2,4").
+func parseCPUs(s string) ([]int, error) {
+	var cpus []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cpus entry %q", part)
+		}
+		cpus = append(cpus, n)
+	}
+	return cpus, nil
+}
+
 type bench struct {
 	name string
 	fn   func(b *testing.B)
 }
 
 // suite builds the benchmark list. Every workload is constructed outside
-// the timed loop, exactly as in bench_test.go.
-func suite(large bool) []bench {
+// the timed loop, exactly as in bench_test.go. cpus is the worker-count
+// axis of the sharded churn sweep.
+func suite(large bool, cpus []int) []bench {
 	var benches []bench
 	add := func(name string, fn func(b *testing.B)) {
 		benches = append(benches, bench{name, fn})
+	}
+
+	// multiShard glues c disjoint Theorem 1 components into one topology
+	// for the sharded engine workloads.
+	multiShard := func(c, nInternal int, seed int64) *digraph.Digraph {
+		parts := make([]gen.Instance, c)
+		for i := range parts {
+			g, err := gen.RandomNoInternalCycleDAG(nInternal, 8, 8, 0.2, seed+int64(i))
+			if err != nil {
+				fatal(err)
+			}
+			parts[i] = gen.Instance{G: g}
+		}
+		g, _ := gen.DisjointUnion(parts...)
+		return g
 	}
 
 	// E1 / Figure 1: exact χ on the pathological staircase.
@@ -223,6 +261,23 @@ func suite(large bool) []bench {
 		benches = append(benches, churnBenches("n=40-paths=200", topo, 200, 7)...)
 	}
 
+	// Churn on a χ>π topology (Figure 1 staircase, shortest routes): the
+	// instance drifts past the slack gate routinely, so the per-event
+	// cost is dominated by how cheaply recolor spikes are absorbed — the
+	// workload the warm-start repack targets.
+	{
+		topo, _, err := gen.Fig1Staircase(12)
+		if err != nil {
+			fatal(err)
+		}
+		benches = append(benches, churnBenches("chi-gt-pi-k=12-paths=200", topo, 200, 13)...)
+	}
+
+	// Sharded churn (small): 4-component topology, batched events, one
+	// entry per worker count.
+	benches = append(benches, shardedChurnBenches(
+		"C=4-n=160-paths=400", multiShard(4, 40, 21), 400, 64, cpus, 23)...)
+
 	if !large {
 		return benches
 	}
@@ -275,6 +330,13 @@ func suite(large bool) []bench {
 		}
 		benches = append(benches, churnBenches("n=500-paths=5000", topo, 5000, 11)...)
 	}
+
+	// Large sharded churn: the ISSUE 3 acceptance workload — an
+	// 8-component topology totalling ~512 internal vertices and a
+	// 5000-path working set, events applied in 256-event batches, swept
+	// over the worker-count axis.
+	benches = append(benches, shardedChurnBenches(
+		"C=8-n=512-paths=5000", multiShard(8, 64, 31), 5000, 256, cpus, 37)...)
 
 	// Large 3: all-to-all batch routing through one reusable Router.
 	{

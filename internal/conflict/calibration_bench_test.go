@@ -1,0 +1,72 @@
+package conflict
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// disjointRandomUnion builds one Graph that is the disjoint union of
+// comps random graphs of size k each (distinct seeds, so the per-call
+// dedup and the component cache cannot collapse them).
+func disjointRandomUnion(comps, k int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(comps * k)
+	for c := 0; c < comps; c++ {
+		base := c * k
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if rng.Float64() < p {
+					if err := g.AddEdge(base+i, base+j); err != nil {
+						panic(err)
+					}
+				}
+			}
+			// Chain the component so it stays connected (one component per
+			// block, sizes exactly k).
+			if i+1 < k {
+				if err := g.AddEdge(base+i, base+i+1); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkPoolCalibration measures the component worker pool's
+// dispatch overhead against per-component solve cost — the data behind
+// the parallelThreshold constant. For each component size it runs the
+// same DSATUR sharding (the cheapest solver the pool ever dispatches,
+// so the measured crossover is conservative for the exact solvers)
+// twice: workers=1 (inline) and workers=4 with the threshold forced to
+// zero (every component dispatched through the pool). On a single-CPU
+// box the difference is pure pool overhead; on a multi-core box the
+// parallel column additionally shows the speedup the threshold gates.
+// Compare ns/op between seq and forced-pool at equal k:
+//
+//	threshold ≈ smallest k where (seq cost)/components dominates
+//	            (forced − seq)/components
+func BenchmarkPoolCalibration(b *testing.B) {
+	const comps = 32
+	for _, k := range []int{8, 12, 16, 24, 32, 48} {
+		g := disjointRandomUnion(comps, k, 0.3, int64(1000+k))
+		for _, mode := range []string{"seq", "pool"} {
+			b.Run(fmt.Sprintf("k=%d/%s", k, mode), func(b *testing.B) {
+				defer func(w, th int) { parallelWorkers, parallelThreshold = w, th }(parallelWorkers, parallelThreshold)
+				if mode == "seq" {
+					parallelWorkers = 1
+				} else {
+					parallelWorkers = 4
+					parallelThreshold = 0
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if w := CountColors(g.DSATURColoring()); w < 2 {
+						b.Fatalf("w=%d", w)
+					}
+				}
+			})
+		}
+	}
+}

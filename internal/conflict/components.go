@@ -99,8 +99,20 @@ func (g *Graph) buildInduced(verts []int, pos []int) *Graph {
 }
 
 // parallelThreshold gates the worker pool: below this many vertices in
-// the largest component the goroutine overhead outweighs the solve.
-const parallelThreshold = 16
+// the largest component the goroutine overhead outweighs the solve. It
+// is a variable only so the calibration benchmark can force the pool on
+// arbitrarily small components. BenchmarkPoolCalibration
+// (calibration_bench_test.go) measured, on the 1-vCPU reference box
+// (Xeon @ 2.10GHz, go1.24.0, 32 components per call), a dispatch cost
+// of ~0.27–0.35µs per component (spawn + channel handoff, amortised)
+// against per-component DSATUR solve times of ~1.1µs at 8 vertices,
+// ~2.1µs at 12 and ~4.1µs at 16. At 12 vertices the cheapest solver the
+// pool ever dispatches already outweighs its dispatch share ~6×, so two
+// workers win even after paying the handoff; at 8 the ratio (~4×) is
+// eaten by the fixed spawn cost on small calls. Hence 12 (down from the
+// unmeasured initial guess of 16 — the pool engages earlier than the
+// guess assumed it should).
+var parallelThreshold = 12
 
 // parallelWorkers bounds the component worker pool. It is a variable
 // only so tests can force the concurrent path on single-CPU machines.

@@ -70,14 +70,24 @@ func ColorDAG(g *digraph.Digraph, fam dipath.Family) (*Result, Method, error) {
 	if err := fam.Validate(g); err != nil {
 		return nil, "", err
 	}
+	return ColorDAGPrevalidated(g, fam)
+}
+
+// ColorDAGPrevalidated is ColorDAG for families whose paths are already
+// known to be valid dipaths of g — routing output, session-held slot
+// tables — and skips the O(total path length) revalidation that
+// dominated the one-shot pipeline when run per call. The theorem
+// dispatch is otherwise identical; feeding it paths built against a
+// different graph may panic instead of returning an error.
+func ColorDAGPrevalidated(g *digraph.Digraph, fam dipath.Family) (*Result, Method, error) {
 	count := cycles.IndependentCycleCount(g)
 	if count == 0 {
-		res, err := ColorNoInternalCycle(g, fam)
+		res, err := colorNoInternalCycle(g, fam)
 		return res, MethodTheorem1, err
 	}
 	if count == 1 {
 		if ok, _, _, err := upp.IsUPP(g); err == nil && ok {
-			res, err := ColorOneInternalCycleUPP(g, fam)
+			res, err := colorOneInternalCycleUPP(g, fam)
 			return res, MethodTheorem6, err
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"wavedag/internal/dipath"
 	"wavedag/internal/gen"
 	"wavedag/internal/load"
+	"wavedag/internal/route"
 )
 
 // checkIncrementalInvariants snapshots the colorer's state and asserts
@@ -125,6 +126,80 @@ func TestIncrementalHardInstance(t *testing.T) {
 	}
 	if thrash := ic.FullRecolors() - recolorsAfterFill; thrash > 20 {
 		t.Fatalf("futile-recolor suppression failed: %d full recolors in 60 steady-state ops", thrash)
+	}
+}
+
+// warmChurn drives ic through count random add/remove ops with shortest
+// routes over g's reachable pairs, checking the colorer invariants every
+// checkEvery ops.
+func warmChurn(t *testing.T, ic *Incremental, r *route.Router, count, liveCap, checkEvery int, seed int64) {
+	t.Helper()
+	pool := r.AllToAll()
+	rng := rand.New(rand.NewSource(seed))
+	var live []int
+	for op := 0; op < count; op++ {
+		if len(live) == 0 || (rng.Intn(3) != 0 && len(live) < liveCap) {
+			req := pool[rng.Intn(len(pool))]
+			p, err := r.ShortestPath(req.Src, req.Dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := ic.Add(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, s)
+		} else {
+			k := rng.Intn(len(live))
+			if err := ic.Remove(live[k]); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if op%checkEvery == 0 {
+			checkIncrementalInvariants(t, op, ic)
+		}
+	}
+	checkIncrementalInvariants(t, count, ic)
+}
+
+// TestIncrementalWarmRecolor pins the warm-start repack. On a drifting
+// Theorem 1 churn trace nearly every slack-gate crossing must be
+// absorbed by the repack (cold pipeline runs strictly rarer than warm
+// passes); on a χ>π trace (shortest routes over the Figure 1 staircase
+// topology) the warm pass must engage and still leave every invariant
+// the cold path guaranteed — properness, dense palette, exact count —
+// intact after each operation.
+func TestIncrementalWarmRecolor(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(20, 4, 4, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := NewIncremental(g, 1)
+	warmChurn(t, ic, route.NewRouter(g), 4000, 80, 50, 9)
+	if ic.WarmRecolors() == 0 {
+		t.Fatal("drift churn never exercised the warm repack")
+	}
+	if ic.FullRecolors() >= ic.WarmRecolors() {
+		t.Fatalf("warm start absorbed nothing on a Theorem 1 trace: %d cold vs %d warm",
+			ic.FullRecolors(), ic.WarmRecolors())
+	}
+
+	sg, _, err := gen.Fig1Staircase(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sic := NewIncremental(sg, 1)
+	warmChurn(t, sic, route.NewRouter(sg), 4000, 60, 25, 3)
+	if sic.WarmRecolors() == 0 {
+		t.Fatal("χ>π churn never exercised the warm repack")
+	}
+	// WarmRecolors counts only absorbed drifts (no cold run), so strict
+	// dominance means the repack genuinely replaced cold pipeline runs.
+	if sic.FullRecolors() >= sic.WarmRecolors() {
+		t.Fatalf("warm start absorbed nothing on the χ>π trace: %d cold vs %d warm",
+			sic.FullRecolors(), sic.WarmRecolors())
 	}
 }
 

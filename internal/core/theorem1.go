@@ -36,6 +36,13 @@ func ColorNoInternalCycle(g *digraph.Digraph, fam dipath.Family) (*Result, error
 	if err := fam.Validate(g); err != nil {
 		return nil, err
 	}
+	return colorNoInternalCycle(g, fam)
+}
+
+// colorNoInternalCycle is ColorNoInternalCycle for pre-validated
+// families (ColorDAG validates once; session-internal families were
+// validated at construction).
+func colorNoInternalCycle(g *digraph.Digraph, fam dipath.Family) (*Result, error) {
 	if !dag.IsDAG(g) {
 		return nil, dag.ErrCyclic
 	}

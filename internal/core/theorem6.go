@@ -54,13 +54,20 @@ func ColorOneInternalCycleUPP(g *digraph.Digraph, fam dipath.Family) (*Result, e
 	if err := fam.Validate(g); err != nil {
 		return nil, err
 	}
+	return colorOneInternalCycleUPP(g, fam)
+}
+
+// colorOneInternalCycleUPP is ColorOneInternalCycleUPP for pre-validated
+// families (ColorDAG validates once; session-internal families were
+// validated at construction).
+func colorOneInternalCycleUPP(g *digraph.Digraph, fam dipath.Family) (*Result, error) {
 	if !dag.IsDAG(g) {
 		return nil, dag.ErrCyclic
 	}
 	switch n := cycles.IndependentCycleCount(g); {
 	case n == 0:
 		// Degenerate but legal: Theorem 1 applies directly and is stronger.
-		return ColorNoInternalCycle(g, fam)
+		return colorNoInternalCycle(g, fam)
 	case n > 1:
 		return nil, fmt.Errorf("core: %d independent internal cycles, Theorem 6 needs exactly 1", n)
 	}

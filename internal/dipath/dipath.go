@@ -249,6 +249,20 @@ func (p *Path) Validate(g *digraph.Digraph) error {
 				id, a.Tail, a.Head, p.vertices[i], p.vertices[i+1])
 		}
 	}
+	// Simplicity check. Paths here are overwhelmingly short (routing
+	// output is hop-bounded), where a quadratic scan beats a map by an
+	// order of magnitude — no makemap/mapassign per call on the hot
+	// Validate path; the map only backs genuinely long paths.
+	if len(p.vertices) <= 64 {
+		for i, v := range p.vertices {
+			for _, u := range p.vertices[:i] {
+				if u == v {
+					return fmt.Errorf("dipath: vertex %d repeated (not a simple dipath)", v)
+				}
+			}
+		}
+		return nil
+	}
 	seen := make(map[digraph.Vertex]bool, len(p.vertices))
 	for _, v := range p.vertices {
 		if seen[v] {

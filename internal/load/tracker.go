@@ -88,6 +88,18 @@ func (t *Tracker) Pi() int {
 // Loads returns a copy of the current load vector.
 func (t *Tracker) Loads() []int { return append([]int(nil), t.loads...) }
 
+// ScatterLoads writes the tracker's per-arc loads into dst under the
+// given identifier translation: dst[ids[a]] = Load(a) for every local
+// arc a. Shard-local trackers over component views report into one
+// global load vector this way — no per-shard copies, no intermediate
+// allocation. ids must be at least as long as the tracker's arc space
+// and index into dst.
+func (t *Tracker) ScatterLoads(dst []int, ids []digraph.ArcID) {
+	for a, l := range t.loads {
+		dst[ids[a]] = l
+	}
+}
+
 // MaxAmong returns the arc of maximum current load restricted to the
 // candidate set, breaking ties toward the smallest identifier.
 func (t *Tracker) MaxAmong(candidates []digraph.ArcID) (digraph.ArcID, int, error) {

@@ -360,7 +360,25 @@ func (s *Session) snapshot() (slots []int, fam dipath.Family) {
 // Provisioning materialises the session's current state as a
 // Provisioning, with paths and wavelengths in id order (see IDs).
 func (s *Session) Provisioning() (*Provisioning, error) {
-	slots, fam := s.snapshot()
+	return s.provisioning(false)
+}
+
+// provisioning materialises the live set. With aliasLive, a coloring
+// state whose slot table is dense (DenseFamilyState) hands its table
+// over directly — zero copies, but the resulting Provisioning aliases
+// live session state, so only callers that discard the session
+// afterwards (one-shot Provision) may ask for it.
+func (s *Session) provisioning(aliasLive bool) (*Provisioning, error) {
+	var slots []int
+	var fam dipath.Family
+	if aliasLive {
+		if ds, ok := s.coloring.(DenseFamilyState); ok {
+			fam, _ = ds.DenseFamily()
+		}
+	}
+	if fam == nil {
+		slots, fam = s.snapshot()
+	}
 	colors, num, method, err := s.coloring.Assignment(slots, fam)
 	if err != nil {
 		return nil, fmt.Errorf("wdm: wavelength assignment: %w", err)

@@ -1,0 +1,557 @@
+package wdm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+	"wavedag/internal/route"
+)
+
+// ShardedID identifies a live request inside a ShardedEngine: the shard
+// that owns it plus its SessionID within that shard's session. Treat it
+// as opaque.
+type ShardedID struct {
+	Shard int32
+	ID    SessionID
+}
+
+// BatchKind selects the operation of a BatchOp.
+type BatchKind uint8
+
+// Batch operation kinds.
+const (
+	BatchAdd     BatchKind = iota // provision Req
+	BatchRemove                   // tear down ID
+	BatchReroute                  // re-route ID against current loads
+)
+
+// BatchOp is one churn event of an ApplyBatch call.
+type BatchOp struct {
+	Kind BatchKind
+	Req  route.Request // BatchAdd
+	ID   ShardedID     // BatchRemove, BatchReroute
+}
+
+// AddOp returns the batch event provisioning req.
+func AddOp(req route.Request) BatchOp { return BatchOp{Kind: BatchAdd, Req: req} }
+
+// RemoveOp returns the batch event tearing down id.
+func RemoveOp(id ShardedID) BatchOp { return BatchOp{Kind: BatchRemove, ID: id} }
+
+// RerouteOp returns the batch event re-routing id.
+func RerouteOp(id ShardedID) BatchOp { return BatchOp{Kind: BatchReroute, ID: id} }
+
+// BatchResult is the outcome of one BatchOp, at the same index in
+// ApplyBatch's result slice as the op in its input. A failed op reports
+// Err and leaves the engine's state for that request untouched; ID is
+// only meaningful when Err is nil (for BatchAdd it carries the id the
+// new request was assigned).
+type BatchResult struct {
+	ID      ShardedID
+	Changed bool // BatchReroute: the route changed
+	Err     error
+}
+
+// ShardedEngine is the concurrent counterpart of a Session: the
+// topology is partitioned into its weakly connected components and each
+// component gets its own independent Session over a compact
+// digraph.ComponentView. Since dipaths cannot cross components, the
+// per-shard sessions share no mutable state whatsoever — each owns its
+// router, load tracker, conflict graph and colorer outright — so a
+// batch of churn events, grouped by shard, executes shards genuinely in
+// parallel without a single lock or atomic on the per-event hot path.
+//
+// Aggregation is offset-free: components share no arcs, so every shard
+// colors from wavelength 0 and the global λ count is the maximum (not
+// the sum) over shards, exactly as a single session's first-fit would
+// reuse colors across independent components. π is likewise the max;
+// ADMs sum (endpoints are disjoint across shards). The merged
+// Provisioning lists shards in index order and each shard's requests in
+// its slot order, so the output is deterministic regardless of which
+// worker finished first.
+//
+// All methods are safe for concurrent use: one engine mutex serialises
+// API entry (batches never interleave), and concurrency happens inside
+// ApplyBatch across shards. Events within one batch that target the
+// same shard apply in input order; events on different shards commute,
+// so the final state is the same as any sequential execution of the
+// batch that preserves per-shard order.
+type ShardedEngine struct {
+	mu      sync.Mutex
+	net     *Network
+	shards  []*engineShard
+	label   []int32          // global vertex -> owning shard
+	localV  []digraph.Vertex // global vertex -> vertex inside its shard's view
+	workers int
+}
+
+// engineShard is one component's slice of the engine. Everything below
+// is owned exclusively by the shard; during ApplyBatch at most one
+// worker touches it.
+type engineShard struct {
+	idx  int32
+	sess *Session
+	view digraph.ComponentView
+	ops  []int32 // scratch: indices into the current batch
+}
+
+// shardedConfig collects NewShardedEngine options.
+type shardedConfig struct {
+	workers     int
+	sessionOpts []SessionOption
+}
+
+// ShardedOption configures NewShardedEngine.
+type ShardedOption func(*shardedConfig) error
+
+// WithShardWorkers bounds the number of workers ApplyBatch fans shards
+// out to (default: runtime.GOMAXPROCS(0)).
+func WithShardWorkers(n int) ShardedOption {
+	return func(c *shardedConfig) error {
+		if n < 1 {
+			return fmt.Errorf("wdm: shard workers must be >= 1, got %d", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithShardSessionOptions forwards session options (routing/coloring
+// strategy, slack, capacity hint) to every per-shard session.
+func WithShardSessionOptions(opts ...SessionOption) ShardedOption {
+	return func(c *shardedConfig) error {
+		c.sessionOpts = append(c.sessionOpts, opts...)
+		return nil
+	}
+}
+
+// NewShardedEngine partitions the network's topology into weakly
+// connected components and opens one session per component. The
+// partition is built in one O(V+A) pass; each shard's session state is
+// sized by its component, not the whole topology.
+func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error) {
+	cfg := shardedConfig{workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	views, label, localV := n.Topology.PartitionComponents()
+	e := &ShardedEngine{
+		net:     n,
+		shards:  make([]*engineShard, len(views)),
+		label:   label,
+		localV:  localV,
+		workers: cfg.workers,
+	}
+	for i, view := range views {
+		subnet := &Network{Topology: view.G, Wavelengths: n.Wavelengths}
+		sess, err := subnet.NewSession(cfg.sessionOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("wdm: shard %d: %w", i, err)
+		}
+		e.shards[i] = &engineShard{idx: int32(i), sess: sess, view: view}
+	}
+	return e, nil
+}
+
+// NumShards returns the number of topology components the engine runs.
+func (e *ShardedEngine) NumShards() int { return len(e.shards) }
+
+// Workers returns the ApplyBatch worker bound.
+func (e *ShardedEngine) Workers() int { return e.workers }
+
+// shardFor resolves the owning shard of an add request, rejecting
+// out-of-range endpoints and cross-component pairs (which no dipath can
+// satisfy — the same answer a full search would reach, in O(1)).
+func (e *ShardedEngine) shardFor(req route.Request) (int32, error) {
+	n := len(e.label)
+	if req.Src < 0 || req.Dst < 0 || int(req.Src) >= n || int(req.Dst) >= n {
+		return -1, fmt.Errorf("wdm: vertex out of range")
+	}
+	s := e.label[req.Src]
+	if s != e.label[req.Dst] {
+		return -1, route.ErrNoRoute{Req: req}
+	}
+	return s, nil
+}
+
+// shardOf resolves a ShardedID's shard, rejecting ids the engine never
+// issued.
+func (e *ShardedEngine) shardOf(id ShardedID) (*engineShard, error) {
+	if id.Shard < 0 || int(id.Shard) >= len(e.shards) {
+		return nil, fmt.Errorf("wdm: unknown shard %d", id.Shard)
+	}
+	return e.shards[id.Shard], nil
+}
+
+// globalizeErr rewrites shard-local vertex identifiers in a session
+// error back to the engine topology, so callers never see ids from the
+// compact component view (which name different global vertices). prefix
+// restores the operation context the rebuilt error would otherwise lose
+// ("wdm: routing" / "wdm: rerouting").
+func (sh *engineShard) globalizeErr(prefix string, err error) error {
+	var nr route.ErrNoRoute
+	if !errors.As(err, &nr) {
+		return err
+	}
+	n := len(sh.view.ToGlobalVertex)
+	if nr.Req.Src < 0 || int(nr.Req.Src) >= n || nr.Req.Dst < 0 || int(nr.Req.Dst) >= n {
+		return err
+	}
+	return fmt.Errorf("%s: %w", prefix, route.ErrNoRoute{Req: route.Request{
+		Src: sh.view.ToGlobalVertex[nr.Req.Src],
+		Dst: sh.view.ToGlobalVertex[nr.Req.Dst],
+	}})
+}
+
+// apply executes one op against the shard. Called by at most one worker
+// per shard at a time.
+func (sh *engineShard) apply(e *ShardedEngine, op BatchOp) BatchResult {
+	switch op.Kind {
+	case BatchAdd:
+		lreq := route.Request{Src: e.localV[op.Req.Src], Dst: e.localV[op.Req.Dst]}
+		id, err := sh.sess.Add(lreq)
+		if err != nil {
+			return BatchResult{Err: sh.globalizeErr("wdm: routing", err)}
+		}
+		return BatchResult{ID: ShardedID{Shard: sh.idx, ID: id}}
+	case BatchRemove:
+		return BatchResult{ID: op.ID, Err: sh.sess.Remove(op.ID.ID)}
+	case BatchReroute:
+		changed, err := sh.sess.Reroute(op.ID.ID)
+		if err != nil {
+			err = sh.globalizeErr("wdm: rerouting", err)
+		}
+		return BatchResult{ID: op.ID, Changed: changed, Err: err}
+	default:
+		return BatchResult{Err: fmt.Errorf("wdm: unknown batch op kind %d", op.Kind)}
+	}
+}
+
+// ApplyBatch applies a slice of churn events, grouping them by owning
+// shard and executing the shards concurrently on up to Workers()
+// goroutines. Results are parallel to ops; per-shard event order is the
+// input order. Ops that cannot be dispatched (out-of-range vertices,
+// cross-component requests, unknown shards) fail individually without
+// aborting the batch.
+func (e *ShardedEngine) ApplyBatch(ops []BatchOp) []BatchResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	results := make([]BatchResult, len(ops))
+	active := e.group(ops, results)
+	e.runShards(active, func(sh *engineShard) {
+		for _, i := range sh.ops {
+			results[i] = sh.apply(e, ops[i])
+		}
+	})
+	for _, si := range active {
+		e.shards[si].ops = e.shards[si].ops[:0]
+	}
+	return results
+}
+
+// group routes each op to its shard's mailbox, failing undispatchable
+// ops in place, and returns the shards with work in index order.
+func (e *ShardedEngine) group(ops []BatchOp, results []BatchResult) []int32 {
+	var active []int32
+	enqueue := func(si int32, i int) {
+		sh := e.shards[si]
+		if len(sh.ops) == 0 {
+			active = append(active, si)
+		}
+		sh.ops = append(sh.ops, int32(i))
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case BatchAdd:
+			si, err := e.shardFor(op.Req)
+			if err != nil {
+				results[i] = BatchResult{Err: err}
+				continue
+			}
+			enqueue(si, i)
+		default:
+			sh, err := e.shardOf(op.ID)
+			if err != nil {
+				results[i] = BatchResult{Err: err}
+				continue
+			}
+			enqueue(sh.idx, i)
+		}
+	}
+	// Mailboxes fill in op order and active in first-touch order; sort
+	// is unnecessary — workers may pick shards in any order anyway.
+	return active
+}
+
+// runShards runs f once per listed shard, fanning out to the worker
+// bound when more than one shard has work. Each shard is processed by
+// exactly one worker, so f needs no synchronisation over shard state.
+func (e *ShardedEngine) runShards(shards []int32, f func(*engineShard)) {
+	w := e.workers
+	if w > len(shards) {
+		w = len(shards)
+	}
+	if w <= 1 {
+		for _, si := range shards {
+			f(e.shards[si])
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				f(e.shards[shards[i]])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// allShards returns 0..len(shards)-1 for whole-engine sweeps.
+func (e *ShardedEngine) allShards() []int32 {
+	all := make([]int32, len(e.shards))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	return all
+}
+
+// Add provisions a single request (see ApplyBatch for the batched
+// form).
+func (e *ShardedEngine) Add(req route.Request) (ShardedID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	si, err := e.shardFor(req)
+	if err != nil {
+		return ShardedID{}, err
+	}
+	res := e.shards[si].apply(e, AddOp(req))
+	return res.ID, res.Err
+}
+
+// Remove tears down the request with the given id.
+func (e *ShardedEngine) Remove(id ShardedID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sh, err := e.shardOf(id)
+	if err != nil {
+		return err
+	}
+	return sh.sess.Remove(id.ID)
+}
+
+// Reroute re-routes the request with the given id against the current
+// loads of its shard; it reports whether the path changed.
+func (e *ShardedEngine) Reroute(id ShardedID) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sh, err := e.shardOf(id)
+	if err != nil {
+		return false, err
+	}
+	return sh.sess.Reroute(id.ID)
+}
+
+// globalPath translates a shard-local dipath back to the engine's
+// topology.
+func (sh *engineShard) globalPath(e *ShardedEngine, p *dipath.Path) (*dipath.Path, error) {
+	if p.NumArcs() == 0 {
+		return dipath.FromVertices(e.net.Topology, sh.view.ToGlobalVertex[p.First()])
+	}
+	arcs := make([]digraph.ArcID, p.NumArcs())
+	for i, a := range p.Arcs() {
+		arcs[i] = sh.view.ToGlobalArc[a]
+	}
+	return dipath.FromArcs(e.net.Topology, arcs...)
+}
+
+// Path returns the current route of a live request, in the engine
+// topology's vertex and arc identifiers.
+func (e *ShardedEngine) Path(id ShardedID) (*dipath.Path, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sh, err := e.shardOf(id)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sh.sess.Path(id.ID)
+	if err != nil {
+		return nil, err
+	}
+	return sh.globalPath(e, p)
+}
+
+// Wavelength returns the current wavelength of a live request (see
+// Session.Wavelength).
+func (e *ShardedEngine) Wavelength(id ShardedID) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sh, err := e.shardOf(id)
+	if err != nil {
+		return -1, err
+	}
+	return sh.sess.Wavelength(id.ID)
+}
+
+// Len returns the number of live requests across all shards.
+func (e *ShardedEngine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := 0
+	for _, sh := range e.shards {
+		total += sh.sess.Len()
+	}
+	return total
+}
+
+// Pi returns the load π of the live routing — the maximum over shards,
+// since components share no arcs.
+func (e *ShardedEngine) Pi() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pi := 0
+	for _, sh := range e.shards {
+		if p := sh.sess.Pi(); p > pi {
+			pi = p
+		}
+	}
+	return pi
+}
+
+// NumLambda returns the number of wavelengths in use: the maximum over
+// shards (offset-free union — wavelengths of independent components
+// overlap rather than stack).
+func (e *ShardedEngine) NumLambda() (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	num := 0
+	for _, sh := range e.shards {
+		n, err := sh.sess.NumLambda()
+		if err != nil {
+			return 0, fmt.Errorf("wdm: shard %d: %w", sh.idx, err)
+		}
+		if n > num {
+			num = n
+		}
+	}
+	return num, nil
+}
+
+// ArcLoads returns the per-arc load vector over the engine's topology,
+// scattered from the shard-local trackers without intermediate copies.
+func (e *ShardedEngine) ArcLoads() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	loads := make([]int, e.net.Topology.NumArcs())
+	for _, sh := range e.shards {
+		sh.sess.tracker.ScatterLoads(loads, sh.view.ToGlobalArc)
+	}
+	return loads
+}
+
+// Verify checks every shard's live assignment against the conflict
+// invariant; shards are checked concurrently and the first failure (in
+// shard order, deterministically) is reported.
+func (e *ShardedEngine) Verify() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	errs := make([]error, len(e.shards))
+	e.runShards(e.allShards(), func(sh *engineShard) {
+		errs[sh.idx] = sh.sess.Verify()
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("wdm: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Provisioning materialises the engine's current state: shards
+// materialise concurrently, then merge in shard index order (each
+// shard's requests in its slot order), so the output is deterministic
+// regardless of worker scheduling. Paths are translated to the engine
+// topology; wavelengths are reported shard-local and offset-free —
+// they remain proper globally because components share no arcs.
+func (e *ShardedEngine) Provisioning() (*Provisioning, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.shards) == 0 {
+		return &Provisioning{Feasible: true}, nil
+	}
+	provs := make([]*Provisioning, len(e.shards))
+	errs := make([]error, len(e.shards))
+	e.runShards(e.allShards(), func(sh *engineShard) {
+		provs[sh.idx], errs[sh.idx] = sh.sess.Provisioning()
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("wdm: shard %d: %w", i, err)
+		}
+	}
+	total := 0
+	for _, p := range provs {
+		total += len(p.Paths)
+	}
+	merged := &Provisioning{
+		Paths:       make(dipath.Family, 0, total),
+		Wavelengths: make([]int, 0, total),
+		Method:      provs[0].Method,
+	}
+	for i, prov := range provs {
+		sh := e.shards[i]
+		for j, p := range prov.Paths {
+			gp, err := sh.globalPath(e, p)
+			if err != nil {
+				return nil, fmt.Errorf("wdm: shard %d: %w", i, err)
+			}
+			merged.Paths = append(merged.Paths, gp)
+			merged.Wavelengths = append(merged.Wavelengths, prov.Wavelengths[j])
+		}
+		if prov.NumLambda > merged.NumLambda {
+			merged.NumLambda = prov.NumLambda
+			merged.Method = prov.Method // the binding shard names the method
+		}
+		if prov.Pi > merged.Pi {
+			merged.Pi = prov.Pi
+		}
+		merged.ADMs += prov.ADMs // endpoint sets are disjoint across shards
+	}
+	merged.Feasible = e.net.Wavelengths == 0 || merged.NumLambda <= e.net.Wavelengths
+	return merged, nil
+}
+
+// ShardRecolorStats reports a shard's incremental-colorer recolor
+// counters — warm (drifts absorbed by the class-seeded repack) and cold
+// (from-scratch pipeline runs) — when its coloring strategy maintains
+// an incremental colorer; ok is false otherwise. The counters are read
+// under the engine lock, so the call is safe concurrently with batches
+// (handing out the live colorer itself would not be).
+func (e *ShardedEngine) ShardRecolorStats(shard int) (warm, cold int, ok bool) {
+	if shard < 0 || shard >= len(e.shards) {
+		return 0, 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.shards[shard].sess.coloring.(*incrementalState)
+	if !ok {
+		return 0, 0, false
+	}
+	ic := st.Incremental()
+	return ic.WarmRecolors(), ic.FullRecolors(), true
+}

@@ -70,6 +70,17 @@ type ColoringState interface {
 	Assignment(slots []int, fam dipath.Family) ([]int, int, core.Method, error)
 }
 
+// DenseFamilyState is an optional ColoringState extension: a state whose
+// slot table currently has no holes (slots are exactly 0..n-1 in
+// arrival order) can return it directly, letting one-shot consumers
+// skip the per-materialisation snapshot copy. The returned family
+// aliases the state — callers must not retain it past the next state
+// mutation. A state advertising a dense family must accept nil slots in
+// Assignment as the identity mapping.
+type DenseFamilyState interface {
+	DenseFamily() (dipath.Family, bool)
+}
+
 // ── Registries ─────────────────────────────────────────────────────────
 
 var (
@@ -288,15 +299,23 @@ func (fullColoring) NewState(g *digraph.Digraph, _ int) (ColoringState, error) {
 }
 
 type fullState struct {
-	g     *digraph.Digraph
-	paths []*dipath.Path // slot -> path; nil = free
-	free  []int
-	live  int
+	g         *digraph.Digraph
+	paths     []*dipath.Path // slot -> path; nil = free
+	free      []int
+	live      int
+	everFreed bool // a recycled slot breaks the arrival-order guarantee
 }
 
 func (s *fullState) Add(p *dipath.Path) (int, error) {
 	if p == nil {
 		return -1, fmt.Errorf("wdm: nil dipath")
+	}
+	// Validate on entry (exactly as the incremental strategy's conflict
+	// layer does): every path the state holds is then a known-good dipath
+	// of g, and Assignment can run the prevalidated coloring dispatch
+	// instead of re-walking the whole family per call.
+	if err := p.Validate(s.g); err != nil {
+		return -1, err
 	}
 	var slot int
 	if n := len(s.free); n > 0 {
@@ -318,6 +337,7 @@ func (s *fullState) Remove(slot int) error {
 	s.paths[slot] = nil
 	s.free = append(s.free, slot)
 	s.live--
+	s.everFreed = true
 	return nil
 }
 
@@ -332,7 +352,7 @@ func (s *fullState) NumLambda() (int, error) {
 			fam = append(fam, p)
 		}
 	}
-	res, _, err := core.ColorDAG(s.g, fam)
+	res, _, err := core.ColorDAGPrevalidated(s.g, fam)
 	if err != nil {
 		return 0, err
 	}
@@ -340,9 +360,23 @@ func (s *fullState) NumLambda() (int, error) {
 }
 
 func (s *fullState) Assignment(_ []int, fam dipath.Family) ([]int, int, core.Method, error) {
-	res, method, err := core.ColorDAG(s.g, fam)
+	res, method, err := core.ColorDAGPrevalidated(s.g, fam)
 	if err != nil {
 		return nil, 0, "", err
 	}
 	return res.Colors, res.NumColors, method, nil
+}
+
+// DenseFamily exposes the state's slot table directly as the live family
+// when no slot was ever freed: slots are then exactly 0..n-1 in arrival
+// order and the returned slice aliases the state. A Remove+Add cycle
+// leaves the table hole-free but permutes it out of arrival order, so
+// everFreed (not the current free list) is the guard. One-shot
+// Provision — fill, materialise once, discard — reads it instead of
+// paying a snapshot copy per Provisioning call.
+func (s *fullState) DenseFamily() (dipath.Family, bool) {
+	if s.everFreed || s.live != len(s.paths) {
+		return nil, false
+	}
+	return dipath.Family(s.paths), true
 }

@@ -88,7 +88,9 @@ func (n *Network) Provision(reqs []route.Request, policy RoutingPolicy) (*Provis
 			return nil, err
 		}
 	}
-	return s.Provisioning()
+	// The throwaway session is discarded right after materialisation, so
+	// the Provisioning may alias its slot table (no snapshot copy).
+	return s.provisioning(true)
 }
 
 // Assign runs only the wavelength-assignment half on pre-routed dipaths.

@@ -94,11 +94,41 @@
 // Verify-clean after every operation, exact π, and λ within the slack
 // of the from-scratch answer.
 //
+// # Sharded engine: concurrency model
+//
+// A Session is single-threaded. ShardedEngine
+// (Network.NewShardedEngine) is the concurrent engine: the topology is
+// partitioned into its weakly connected components (one O(V+A) pass,
+// compact per-component views — no shard ever copies the full graph)
+// and every component gets its own Session. Dipaths cannot cross
+// components, so shards share no mutable state: each owns its router,
+// load tracker, conflict graph and colorer outright, and the per-event
+// hot path takes no locks or atomics.
+//
+// Ownership and safety rules:
+//
+//   - All ShardedEngine methods are safe to call from any goroutine:
+//     one engine mutex serialises API entry, so batches never
+//     interleave. Concurrency happens inside ApplyBatch, which groups
+//     the batch by owning shard and fans the shards out to up to
+//     GOMAXPROCS workers (WithShardWorkers overrides).
+//   - A shard is touched by exactly one worker per batch; events on the
+//     same shard apply in input order, events on different shards
+//     commute. Merged reports (Provisioning, Verify) assemble in shard
+//     index order, so results are deterministic regardless of worker
+//     scheduling.
+//   - The per-shard Sessions must not be driven directly; the engine
+//     owns them. Wavelength reports are offset-free: components share
+//     no arcs, so shards color independently from 0, the global λ is
+//     the max over shards, and the merged assignment is proper as-is.
+//
 // BENCH_PR1.json records the measured baseline (ns/op, B/op, allocs/op,
 // before/after) for the E1–E12 experiment pipelines and the large-
 // instance workloads of cmd/bench; BENCH_PR2.json adds the churn
 // workloads (session vs rebuild-from-scratch per event, with
-// configurable hold times); `make benchsmoke` keeps every benchmark
+// configurable hold times); BENCH_PR3.json adds the sharded-engine
+// churn sweep (worker-count axis, batched ApplyBatch events) and the
+// warm-start recolor numbers; `make benchsmoke` keeps every benchmark
 // compiling and running.
 //
 // The sub-packages under internal/ hold the implementation; this package
@@ -172,6 +202,23 @@ type (
 	// IncrementalColorer maintains a wavelength assignment online over a
 	// mutable conflict graph (see NewIncrementalColorer).
 	IncrementalColorer = core.Incremental
+	// ShardedEngine is the concurrent provisioning engine: one Session
+	// per weakly connected component, batches fanned out across shards
+	// (open one with Network.NewShardedEngine; see the package docs for
+	// the concurrency model).
+	ShardedEngine = wdm.ShardedEngine
+	// ShardedID identifies a live request inside a ShardedEngine.
+	ShardedID = wdm.ShardedID
+	// ShardedOption configures Network.NewShardedEngine.
+	ShardedOption = wdm.ShardedOption
+	// BatchOp is one churn event of ShardedEngine.ApplyBatch (build with
+	// AddOp, RemoveOp, RerouteOp).
+	BatchOp = wdm.BatchOp
+	// BatchResult is the per-op outcome of ShardedEngine.ApplyBatch.
+	BatchResult = wdm.BatchResult
+	// ComponentView is a compact weakly-connected-component view of a
+	// Graph (see Graph.PartitionComponents).
+	ComponentView = digraph.ComponentView
 )
 
 // Routing policies accepted by Network.Provision and WithRoutingPolicy.
@@ -212,6 +259,28 @@ func WithSlack(slack int) SessionOption { return wdm.WithSlack(slack) }
 // WithCapacityHint pre-sizes the session for the expected number of
 // simultaneously live requests.
 func WithCapacityHint(n int) SessionOption { return wdm.WithCapacityHint(n) }
+
+// Sharded-engine options and batch constructors, re-exported from the
+// wdm layer.
+
+// WithShardWorkers bounds the number of workers ApplyBatch fans shards
+// out to (default: runtime.GOMAXPROCS(0)).
+func WithShardWorkers(n int) ShardedOption { return wdm.WithShardWorkers(n) }
+
+// WithShardSessionOptions forwards session options to every per-shard
+// session of a ShardedEngine.
+func WithShardSessionOptions(opts ...SessionOption) ShardedOption {
+	return wdm.WithShardSessionOptions(opts...)
+}
+
+// AddOp returns the batch event provisioning req.
+func AddOp(req Request) BatchOp { return wdm.AddOp(req) }
+
+// RemoveOp returns the batch event tearing down id.
+func RemoveOp(id ShardedID) BatchOp { return wdm.RemoveOp(id) }
+
+// RerouteOp returns the batch event re-routing id.
+func RerouteOp(id ShardedID) BatchOp { return wdm.RerouteOp(id) }
 
 // Strategy registries, re-exported from the wdm layer.
 
