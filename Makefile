@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify benchsmoke benchsmoke-sharded bench test
+.PHONY: verify benchsmoke benchsmoke-sharded benchsmoke-subshard bench test
 
 verify:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ benchsmoke:
 # GOMAXPROCS settings, so the batch fan-out path cannot silently rot.
 benchsmoke-sharded:
 	$(GO) test -run=NONE -bench='Sharded|PoolCalibration' -benchtime=1x -cpu=1,4 ./...
+
+# Two-level smoke: the giant-component churn benchmark (sub-sharding
+# off and on) plus the trusted-translation ablation, at two GOMAXPROCS
+# settings, so the region/overlay fan-out path cannot silently rot.
+benchsmoke-subshard:
+	$(GO) test -run=NONE -bench='SubshardChurn|AblationTrustedTranslation' -benchtime=1x -cpu=1,4 ./...
 
 bench:
 	$(GO) run ./cmd/bench -benchtime 1s -out bench-latest.json

@@ -18,6 +18,8 @@ import (
 
 	"wavedag/internal/conflict"
 	"wavedag/internal/core"
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
 	"wavedag/internal/gen"
 )
 
@@ -126,4 +128,55 @@ func BenchmarkAblationExactBlowup(b *testing.B) {
 			}
 		})
 	}
+}
+
+// A4 (PR 4): the trusted path translation vs. the validating one on the
+// sharded engine's merge path. The engine's view-to-parent translations
+// are chain-preserving by construction, so FromArcs' per-path
+// revalidation is pure overhead; this measures exactly that delta on an
+// AllToAll-scale family.
+func BenchmarkAblationTrustedTranslation(b *testing.B) {
+	g, err := gen.RandomNoInternalCycleDAG(64, 6, 6, 0.2, 71)
+	if err != nil {
+		b.Fatal(err)
+	}
+	views, _, _ := g.PartitionComponents()
+	view := views[0]
+	for _, v := range views {
+		if v.G.NumArcs() > view.G.NumArcs() {
+			view = v
+		}
+	}
+	fam := gen.RandomWalkFamily(view.G, 2000, 8, 73)
+	var arcSeqs [][]digraph.ArcID
+	for _, p := range fam {
+		if p.NumArcs() == 0 {
+			continue
+		}
+		arcs := make([]digraph.ArcID, p.NumArcs())
+		for i, a := range p.Arcs() {
+			arcs[i] = view.ToGlobalArc[a]
+		}
+		arcSeqs = append(arcSeqs, arcs)
+	}
+	b.Run("from-arcs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, arcs := range arcSeqs {
+				if _, err := dipath.FromArcs(g, arcs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("trusted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, arcs := range arcSeqs {
+				if p := dipath.FromArcsTrusted(g, arcs...); p.NumArcs() != len(arcs) {
+					b.Fatal("bad translation")
+				}
+			}
+		}
+	})
 }

@@ -388,6 +388,7 @@ func BenchmarkShardedChurn(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer eng.Close()
 	pool := wavedag.NewRouter(topo).AllToAll()
 	const liveTarget = 400
 	ids := make([]wavedag.ShardedID, 0, liveTarget)
@@ -423,5 +424,76 @@ func BenchmarkShardedChurn(b *testing.B) {
 	b.StopTimer()
 	if err := eng.Verify(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkSubshardChurn measures the two-level engine's per-event cost
+// on a giant glued component — one weakly connected component that
+// PartitionComponents cannot split — under a 90%-region-local trace,
+// with sub-sharding off (the whole component serialises onto one
+// session) and on (region lanes fan out, cross-region traffic rides the
+// overlay lane). Run with -cpu=1,4 for the worker axis; cmd/bench's
+// churn/sharded/giant-* entries are the calibrated snapshot form.
+func BenchmarkSubshardChurn(b *testing.B) {
+	parts := make([]*wavedag.Graph, 4)
+	for i := range parts {
+		g, err := gen.RandomNoInternalCycleDAG(24, 4, 4, 0.2, int64(91+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		parts[i] = g
+	}
+	topo, partVerts, err := gen.GlueChain(parts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := gen.LocalityRequestPool(topo, partVerts, 0.9, 2000, 97)
+	pool := make([]wavedag.Request, len(pairs))
+	for i, p := range pairs {
+		pool[i] = wavedag.Request{Src: p[0], Dst: p[1]}
+	}
+	for _, threshold := range []int{0, 16} {
+		b.Run(fmt.Sprintf("subshard=%d", threshold), func(b *testing.B) {
+			net := &wavedag.Network{Topology: topo}
+			eng, err := net.NewShardedEngine(wavedag.WithSubshardThreshold(threshold))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			const liveTarget = 300
+			ids := make([]wavedag.ShardedID, 0, liveTarget)
+			for i := 0; len(ids) < liveTarget; i++ {
+				id, err := eng.Add(pool[(i*31)%len(pool)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids = append(ids, id)
+			}
+			const batch = 32
+			ops := make([]wavedag.BatchOp, 0, batch)
+			slots := make([]int, 0, batch/2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := (i * 17) % len(ids)
+				ops = append(ops, wavedag.RemoveOp(ids[k]), wavedag.AddOp(pool[(i*13)%len(pool)]))
+				slots = append(slots, k)
+				if len(ops) == batch || i == b.N-1 {
+					for j, res := range eng.ApplyBatch(ops) {
+						if res.Err != nil {
+							b.Fatal(res.Err)
+						}
+						if j%2 == 1 {
+							ids[slots[j/2]] = res.ID
+						}
+					}
+					ops, slots = ops[:0], slots[:0]
+				}
+			}
+			b.StopTimer()
+			if err := eng.Verify(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }

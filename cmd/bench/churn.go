@@ -164,17 +164,19 @@ func churnScratchBench(name string, g *digraph.Digraph, pool []route.Request, li
 // multi-component topology: the driver's trace is cut into ApplyBatch
 // batches (batchSize events each) and the engine fans each batch out to
 // its shards on `workers` workers with GOMAXPROCS pinned to the same
-// value — the worker-count axis of the BENCH_PR3 sweep. ns/op is per
-// event, so events/sec = 1e9/ns_per_op.
-func shardedChurnBench(name string, g *digraph.Digraph, pool []route.Request, liveTarget, batchSize, workers int, seed int64) bench {
+// value — the worker-count axis of the BENCH_PR3/PR4 sweeps. Extra
+// engine options (sub-shard threshold) ride along. ns/op is per event,
+// so events/sec = 1e9/ns_per_op.
+func shardedChurnBench(name string, g *digraph.Digraph, pool []route.Request, liveTarget, batchSize, workers int, seed int64, opts ...wdm.ShardedOption) bench {
 	return bench{name, func(b *testing.B) {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(workers))
 		b.ReportAllocs()
 		net := &wdm.Network{Topology: g}
-		eng, err := net.NewShardedEngine(wdm.WithShardWorkers(workers))
+		eng, err := net.NewShardedEngine(append([]wdm.ShardedOption{wdm.WithShardWorkers(workers)}, opts...)...)
 		if err != nil {
 			b.Fatal(err)
 		}
+		defer eng.Close()
 		d := newChurnDriver(pool, float64(liveTarget), seed)
 		ids := make(map[int]wdm.ShardedID, liveTarget)
 		// Batch staging: removes of a request whose add is still staged in
@@ -250,4 +252,87 @@ func shardedChurnBenches(label string, g *digraph.Digraph, liveTarget, batchSize
 			fmt.Sprintf("churn/sharded/%s/cpus=%d", label, c), g, pool, liveTarget, batchSize, c, seed))
 	}
 	return benches
+}
+
+// giantChurnBenches builds the two-level acceptance sweep: a glued
+// giant component (≳90% of all vertices — PartitionComponents cannot
+// split it) under a locality-heavy trace, swept over the sub-shard
+// threshold axis (0 = the PR 3 layout, serialising the component onto
+// one session) and the worker-count axis.
+func giantChurnBenches(label string, g *digraph.Digraph, pool []route.Request, liveTarget, batchSize int, subshards, cpus []int, seed int64) []bench {
+	benches := []bench{
+		churnSessionBench("churn/union-session/"+label, g, pool, liveTarget, seed),
+	}
+	for _, t := range subshards {
+		for _, c := range cpus {
+			benches = append(benches, shardedChurnBench(
+				fmt.Sprintf("churn/sharded/%s/subshard=%d/cpus=%d", label, t, c),
+				g, pool, liveTarget, batchSize, c, seed, wdm.WithSubshardThreshold(t)))
+		}
+	}
+	return benches
+}
+
+// requestPool converts gen.LocalityRequestPool pairs to requests.
+func requestPool(pairs [][2]digraph.Vertex) []route.Request {
+	reqs := make([]route.Request, len(pairs))
+	for i, p := range pairs {
+		reqs[i] = route.Request{Src: p[0], Dst: p[1]}
+	}
+	return reqs
+}
+
+// provisioningMergeBenches measures materialising the merged snapshot
+// of a filled two-level engine. The trusted entry is the production
+// merge (dipath.FromArcsTrusted translations); the revalidate entry
+// adds the full family validation sweep the pre-trusted merge
+// effectively paid per call — the delta between the two is the
+// satellite win recorded in BENCH_PR4.json.
+func provisioningMergeBenches(label string, g *digraph.Digraph, pool []route.Request, liveTarget int, seed int64) []bench {
+	build := func(b *testing.B) *wdm.ShardedEngine {
+		net := &wdm.Network{Topology: g}
+		eng, err := net.NewShardedEngine(wdm.WithSubshardThreshold(64))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ops := make([]wdm.BatchOp, 0, liveTarget)
+		for len(ops) < liveTarget {
+			ops = append(ops, wdm.AddOp(pool[rng.Intn(len(pool))]))
+		}
+		for _, res := range eng.ApplyBatch(ops) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+		return eng
+	}
+	return []bench{
+		{"sharded/provisioning-merge/" + label, func(b *testing.B) {
+			eng := build(b)
+			defer eng.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Provisioning(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"sharded/provisioning-merge-revalidate/" + label, func(b *testing.B) {
+			eng := build(b)
+			defer eng.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prov, err := eng.Provisioning()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := prov.Paths.Validate(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
 }

@@ -47,9 +47,14 @@ func main() {
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark")
 	large := flag.Bool("large", true, "include the large-instance workloads")
 	cpus := flag.String("cpus", "1,2,4", "comma-separated worker counts for the sharded churn sweep")
+	subshard := flag.String("subshard", "0,64", "comma-separated sub-shard thresholds for the giant-component sweep (0 = off)")
 	flag.Parse()
 
 	cpuList, err := parseCPUs(*cpus)
+	if err != nil {
+		fatal(err)
+	}
+	subshardList, err := parseInts(*subshard, 0)
 	if err != nil {
 		fatal(err)
 	}
@@ -74,7 +79,7 @@ func main() {
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
 
-	for _, b := range suite(*large, cpuList) {
+	for _, b := range suite(*large, cpuList, subshardList) {
 		run(b.name, b.fn)
 	}
 
@@ -99,15 +104,20 @@ func fatal(err error) {
 
 // parseCPUs parses the -cpus sweep list ("1,2,4").
 func parseCPUs(s string) ([]int, error) {
-	var cpus []int
+	return parseInts(s, 1)
+}
+
+// parseInts parses a comma-separated integer sweep list with a floor.
+func parseInts(s string, min int) ([]int, error) {
+	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad -cpus entry %q", part)
+		if err != nil || n < min {
+			return nil, fmt.Errorf("bad sweep entry %q", part)
 		}
-		cpus = append(cpus, n)
+		out = append(out, n)
 	}
-	return cpus, nil
+	return out, nil
 }
 
 type bench struct {
@@ -117,8 +127,9 @@ type bench struct {
 
 // suite builds the benchmark list. Every workload is constructed outside
 // the timed loop, exactly as in bench_test.go. cpus is the worker-count
-// axis of the sharded churn sweep.
-func suite(large bool, cpus []int) []bench {
+// axis of the sharded churn sweeps; subshards the threshold axis of the
+// giant-component sweep.
+func suite(large bool, cpus, subshards []int) []bench {
 	var benches []bench
 	add := func(name string, fn func(b *testing.B)) {
 		benches = append(benches, bench{name, fn})
@@ -273,10 +284,62 @@ func suite(large bool, cpus []int) []bench {
 		benches = append(benches, churnBenches("chi-gt-pi-k=12-paths=200", topo, 200, 13)...)
 	}
 
+	// giantShard glues p Theorem 1 parts into one giant component and
+	// adds one small satellite component, so the giant holds ≳90% of
+	// the vertices — the layout component sharding cannot split and the
+	// two-level engine exists for.
+	giantShard := func(p, nInternal int, seed int64) (*digraph.Digraph, [][]digraph.Vertex) {
+		parts := make([]*digraph.Digraph, p)
+		for i := range parts {
+			g, err := gen.RandomNoInternalCycleDAG(nInternal, 6, 6, 0.2, seed+int64(i))
+			if err != nil {
+				fatal(err)
+			}
+			parts[i] = g
+		}
+		glued, partVerts, err := gen.GlueChain(parts...)
+		if err != nil {
+			fatal(err)
+		}
+		sat, err := gen.RandomNoInternalCycleDAG(12, 2, 2, 0.2, seed+1000)
+		if err != nil {
+			fatal(err)
+		}
+		// The glued component occupies the first identifiers of the
+		// union, so partVerts stays valid on the combined topology.
+		g, _ := gen.DisjointUnion(gen.Instance{G: glued}, gen.Instance{G: sat})
+		return g, partVerts
+	}
+
 	// Sharded churn (small): 4-component topology, batched events, one
 	// entry per worker count.
 	benches = append(benches, shardedChurnBenches(
 		"C=4-n=160-paths=400", multiShard(4, 40, 21), 400, 64, cpus, 23)...)
+
+	// Small batches (≤16 events) on the same topology: the regime where
+	// the persistent worker pool shaves the per-batch spawn cost PR 3
+	// paid (compare against BENCH_PR3-era numbers at batch=256 scaled
+	// per event).
+	{
+		g := multiShard(4, 40, 21)
+		pool := route.NewRouter(g).AllToAll()
+		for _, c := range cpus {
+			benches = append(benches, shardedChurnBench(
+				fmt.Sprintf("churn/sharded/C=4-n=160-paths=400/batch=8/cpus=%d", c),
+				g, pool, 400, 8, c, 23))
+		}
+	}
+
+	// Giant-component churn (small): a glued component holding ~90% of
+	// the vertices under a 90%-local trace, swept over the sub-shard
+	// threshold (0 = PR 3 layout) and worker counts.
+	{
+		g, partVerts := giantShard(4, 24, 43)
+		pool := requestPool(gen.LocalityRequestPool(g, partVerts, 0.9, 4000, 47))
+		label := fmt.Sprintf("giant-P=4-n=%d-paths=400", g.NumVertices())
+		benches = append(benches, giantChurnBenches(label, g, pool, 400, 64, subshards, cpus, 49)...)
+		benches = append(benches, provisioningMergeBenches(label, g, pool, 400, 51)...)
+	}
 
 	if !large {
 		return benches
@@ -337,6 +400,17 @@ func suite(large bool, cpus []int) []bench {
 	// over the worker-count axis.
 	benches = append(benches, shardedChurnBenches(
 		"C=8-n=512-paths=5000", multiShard(8, 64, 31), 5000, 256, cpus, 37)...)
+
+	// Large giant-component churn: the ISSUE 4 acceptance workload —
+	// one glued component of ~600 vertices (≳95% of the topology) at a
+	// 5000-path working set, 90%-local traffic, swept over sub-shard
+	// threshold and worker counts.
+	{
+		g, partVerts := giantShard(8, 64, 53)
+		pool := requestPool(gen.LocalityRequestPool(g, partVerts, 0.9, 8000, 57))
+		label := fmt.Sprintf("giant-P=8-n=%d-paths=5000", g.NumVertices())
+		benches = append(benches, giantChurnBenches(label, g, pool, 5000, 256, subshards, cpus, 59)...)
+	}
 
 	// Large 3: all-to-all batch routing through one reusable Router.
 	{

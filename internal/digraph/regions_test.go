@@ -1,0 +1,245 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// diamondChain builds k diamonds (a->b->d, a->c->d) glued in a chain at
+// their tips: d_i == a_{i+1}. Every glue vertex is a cut vertex and each
+// diamond is one biconnected block, so the expected decomposition is
+// exactly k regions of 4 vertices.
+func diamondChain(k int) *Digraph {
+	g := New(0)
+	prev := g.AddVertex("")
+	for i := 0; i < k; i++ {
+		b := g.AddVertex("")
+		c := g.AddVertex("")
+		d := g.AddVertex("")
+		g.MustAddArc(prev, b)
+		g.MustAddArc(prev, c)
+		g.MustAddArc(b, d)
+		g.MustAddArc(c, d)
+		prev = d
+	}
+	return g
+}
+
+func TestPartitionRegionsDiamondChain(t *testing.T) {
+	const k = 5
+	g := diamondChain(k)
+	r := g.PartitionRegions()
+	if r.NumRegions() != k {
+		t.Fatalf("NumRegions = %d, want %d", r.NumRegions(), k)
+	}
+	for i, view := range r.Views {
+		if view.G.NumVertices() != 4 || view.G.NumArcs() != 4 {
+			t.Fatalf("region %d: %d vertices / %d arcs, want 4/4",
+				i, view.G.NumVertices(), view.G.NumArcs())
+		}
+	}
+	// Glue vertices (every diamond tip except the last) are cut vertices.
+	for i := 0; i <= k; i++ {
+		v := Vertex(3 * i)
+		wantCut := i > 0 && i < k
+		if r.IsCutVertex(v) != wantCut {
+			t.Fatalf("IsCutVertex(%d) = %v, want %v", v, !wantCut, wantCut)
+		}
+	}
+	// Vertices inside one diamond share a region; tips of different
+	// diamonds do not.
+	if _, _, _, ok := r.CommonRegion(0, 3); !ok {
+		t.Fatal("0 and 3 should share the first diamond's region")
+	}
+	if _, _, _, ok := r.CommonRegion(0, 6); ok {
+		t.Fatal("0 and 6 lie in different diamonds but report a common region")
+	}
+}
+
+func TestPartitionRegionsParallelArcs(t *testing.T) {
+	// Parallel arcs u->v form a cycle of the underlying multigraph, so
+	// u-v is one biconnected block; a pendant v->w is its own block.
+	g := New(3)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	r := g.PartitionRegions()
+	if r.NumRegions() != 2 {
+		t.Fatalf("NumRegions = %d, want 2", r.NumRegions())
+	}
+	if r.ArcRegion[0] != r.ArcRegion[1] {
+		t.Fatal("parallel arcs split across regions")
+	}
+	if r.ArcRegion[2] == r.ArcRegion[0] {
+		t.Fatal("pendant arc merged into the parallel block")
+	}
+	if !r.IsCutVertex(1) {
+		t.Fatal("vertex 1 should be a cut vertex")
+	}
+}
+
+// TestPartitionRegionsInvariants checks the decomposition contract on
+// random DAGs: arcs partition exactly, views translate back faithfully
+// in parent order, two regions share at most one vertex, and any arc
+// joining two co-region vertices belongs to that region.
+func TestPartitionRegionsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		m := rng.Intn(3 * n)
+		g := New(n)
+		for k := 0; k < m; k++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			g.MustAddArc(Vertex(u), Vertex(v))
+		}
+		r := g.PartitionRegions()
+
+		seen := make([]bool, g.NumArcs())
+		for ri, view := range r.Views {
+			prevArc := ArcID(-1)
+			for la, ga := range view.ToGlobalArc {
+				if seen[ga] {
+					t.Fatalf("trial %d: arc %d in two regions", trial, ga)
+				}
+				seen[ga] = true
+				if r.ArcRegion[ga] != int32(ri) || r.LocalArc[ga] != ArcID(la) {
+					t.Fatalf("trial %d: arc translation maps disagree", trial)
+				}
+				if ga <= prevArc {
+					t.Fatalf("trial %d: region %d arcs out of parent order", trial, ri)
+				}
+				prevArc = ga
+				// The view's arc joins the translated endpoints.
+				va := view.G.Arc(ArcID(la))
+				pa := g.Arc(ga)
+				if view.ToGlobalVertex[va.Tail] != pa.Tail || view.ToGlobalVertex[va.Head] != pa.Head {
+					t.Fatalf("trial %d: arc endpoints mistranslated", trial)
+				}
+			}
+			prevV := Vertex(-1)
+			for _, gv := range view.ToGlobalVertex {
+				if gv <= prevV {
+					t.Fatalf("trial %d: region %d vertices out of parent order", trial, ri)
+				}
+				prevV = gv
+			}
+		}
+		for a := 0; a < g.NumArcs(); a++ {
+			if !seen[a] {
+				t.Fatalf("trial %d: arc %d in no region", trial, a)
+			}
+		}
+
+		// Two regions share at most one vertex; memberships round-trip.
+		type pair struct{ a, b int32 }
+		shared := map[pair]Vertex{}
+		for v := 0; v < n; v++ {
+			ms := r.RegionsOf(Vertex(v))
+			for _, m1 := range ms {
+				if r.Views[m1.Region].ToGlobalVertex[m1.Local] != Vertex(v) {
+					t.Fatalf("trial %d: membership local id mistranslated", trial)
+				}
+				for _, m2 := range ms {
+					if m1.Region >= m2.Region {
+						continue
+					}
+					key := pair{m1.Region, m2.Region}
+					if prev, ok := shared[key]; ok && prev != Vertex(v) {
+						t.Fatalf("trial %d: regions %d and %d share vertices %d and %d",
+							trial, m1.Region, m2.Region, prev, v)
+					}
+					shared[key] = Vertex(v)
+				}
+			}
+		}
+
+		// Any arc between co-region vertices belongs to that region.
+		for _, a := range g.Arcs() {
+			region, _, _, ok := r.CommonRegion(a.Tail, a.Head)
+			if !ok {
+				t.Fatalf("trial %d: arc %d endpoints share no region", trial, a.ID)
+			}
+			if region != r.ArcRegion[a.ID] {
+				t.Fatalf("trial %d: arc %d owned by region %d but endpoints share %d",
+					trial, a.ID, r.ArcRegion[a.ID], region)
+			}
+		}
+	}
+}
+
+// TestRegionRouteConfinement checks the confinement property the
+// sharded engine relies on: for co-region endpoints, BFS over the
+// parent yields a route lying entirely inside the region, and BFS over
+// the region view yields the identical route.
+func TestRegionRouteConfinement(t *testing.T) {
+	g := diamondChain(6)
+	r := g.PartitionRegions()
+	n := g.NumVertices()
+
+	// Parent-side BFS (mirrors route.Router's order: out-arcs in
+	// insertion order).
+	bfs := func(gr *Digraph, src, dst Vertex) []ArcID {
+		prev := make([]ArcID, gr.NumVertices())
+		seen := make([]bool, gr.NumVertices())
+		for i := range prev {
+			prev[i] = -1
+		}
+		queue := []Vertex{src}
+		seen[src] = true
+		for head := 0; head < len(queue); head++ {
+			for _, a := range gr.OutArcs(queue[head]) {
+				h := gr.Arc(a).Head
+				if !seen[h] {
+					seen[h] = true
+					prev[h] = a
+					queue = append(queue, h)
+				}
+			}
+		}
+		if !seen[dst] {
+			return nil
+		}
+		var arcs []ArcID
+		for v := dst; v != src; v = gr.Arc(prev[v]).Tail {
+			arcs = append([]ArcID{prev[v]}, arcs...)
+		}
+		return arcs
+	}
+
+	checked := 0
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			region, lu, lv, ok := r.CommonRegion(Vertex(u), Vertex(v))
+			if !ok {
+				continue
+			}
+			global := bfs(g, Vertex(u), Vertex(v))
+			local := bfs(r.Views[region].G, lu, lv)
+			if (global == nil) != (local == nil) {
+				t.Fatalf("%d->%d: reachability diverges between parent and region", u, v)
+			}
+			if global == nil {
+				continue
+			}
+			if len(global) != len(local) {
+				t.Fatalf("%d->%d: route lengths diverge", u, v)
+			}
+			for i := range global {
+				if r.ArcRegion[global[i]] != region {
+					t.Fatalf("%d->%d: global route leaves the common region", u, v)
+				}
+				if r.Views[region].ToGlobalArc[local[i]] != global[i] {
+					t.Fatalf("%d->%d: region route diverges from the global one", u, v)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no co-region routable pairs exercised")
+	}
+}

@@ -63,6 +63,25 @@ func FromArcs(g *digraph.Digraph, arcs ...digraph.ArcID) (*Path, error) {
 	return &Path{vertices: vertices, arcs: append([]digraph.ArcID(nil), arcs...)}, nil
 }
 
+// FromArcsTrusted builds a path from a non-empty sequence of arc
+// identifiers of g without validating the chain: the vertex sequence is
+// read straight off the arcs. It exists for identifier-translated paths
+// whose validity is guaranteed by construction — the sharded engine's
+// view-to-parent translations preserve chaining and simplicity exactly,
+// so re-walking FromArcs' checks per merged path is pure overhead (see
+// BenchmarkAblationTrustedTranslation for the measured delta). The arcs
+// slice is retained by the path; callers must not mutate it. Feeding
+// arcs that do not chain silently builds a corrupt path — use FromArcs
+// for anything that did not come out of a trusted translation.
+func FromArcsTrusted(g *digraph.Digraph, arcs ...digraph.ArcID) *Path {
+	vertices := make([]digraph.Vertex, 0, len(arcs)+1)
+	vertices = append(vertices, g.Arc(arcs[0]).Tail)
+	for _, id := range arcs {
+		vertices = append(vertices, g.Arc(id).Head)
+	}
+	return &Path{vertices: vertices, arcs: arcs}
+}
+
 // MustFromVertices is FromVertices but panics on error; for constructions
 // that are correct by construction.
 func MustFromVertices(g *digraph.Digraph, vertices ...digraph.Vertex) *Path {

@@ -306,3 +306,20 @@ func TestArcIncidence(t *testing.T) {
 		t.Fatalf("inc[3] = %v", inc[3])
 	}
 }
+
+func TestFromArcsTrustedMatchesFromArcs(t *testing.T) {
+	g := line()
+	for _, arcs := range [][]digraph.ArcID{{0}, {1, 2}, {0, 1, 2, 3}} {
+		want, err := FromArcs(g, arcs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := FromArcsTrusted(g, append([]digraph.ArcID(nil), arcs...)...)
+		if !got.Equal(want) {
+			t.Fatalf("FromArcsTrusted(%v) = %v, want %v", arcs, got, want)
+		}
+		if err := got.Validate(g); err != nil {
+			t.Fatalf("FromArcsTrusted(%v): %v", arcs, err)
+		}
+	}
+}

@@ -229,6 +229,121 @@ func DisjointUnion(parts ...Instance) (*digraph.Digraph, dipath.Family) {
 	return g, fam
 }
 
+// GlueChain glues the parts into one weakly connected "giant" component
+// by identifying the first sink of each part with the first source of
+// the next. Parts meet at single vertices, so every glue point is a cut
+// vertex of the result: PartitionComponents cannot split the glued
+// graph, but PartitionRegions decomposes it into arc-disjoint regions
+// no larger than the parts — the workload family the two-level sharded
+// engine exists for. The result stays a DAG (all arcs respect the part
+// order), though glue vertices become internal, so parts' cycles
+// through them turn into internal cycles of the whole.
+//
+// It returns the glued graph and, per part, the global identifiers of
+// that part's vertices (consecutive parts share their glue vertex, so
+// the slices overlap in one element). Parts must each have a source and
+// a sink.
+func GlueChain(parts ...*digraph.Digraph) (*digraph.Digraph, [][]digraph.Vertex, error) {
+	if len(parts) == 0 {
+		return nil, nil, fmt.Errorf("gen: GlueChain needs at least one part")
+	}
+	g := digraph.New(0)
+	partVerts := make([][]digraph.Vertex, len(parts))
+	glue := digraph.Vertex(-1) // previous part's first sink, in global ids
+	for i, part := range parts {
+		srcs, sinks := part.Sources(), part.Sinks()
+		if len(srcs) == 0 || len(sinks) == 0 {
+			return nil, nil, fmt.Errorf("gen: GlueChain part %d needs a source and a sink", i)
+		}
+		toGlobal := make([]digraph.Vertex, part.NumVertices())
+		for v := range toGlobal {
+			if i > 0 && digraph.Vertex(v) == srcs[0] {
+				toGlobal[v] = glue // identify with the previous part's sink
+			} else {
+				toGlobal[v] = g.AddVertex(part.Label(digraph.Vertex(v)))
+			}
+		}
+		for _, a := range part.Arcs() {
+			g.MustAddArc(toGlobal[a.Tail], toGlobal[a.Head])
+		}
+		partVerts[i] = toGlobal
+		glue = toGlobal[sinks[0]]
+	}
+	return g, partVerts, nil
+}
+
+// LocalityRequestPool draws a pool of routable (src, dst) pairs over g
+// with a controlled locality mix: about frac of the entries have both
+// endpoints inside one vertex group, the rest cross groups. Groups
+// typically come from GlueChain's part lists, making frac the fraction
+// of region-confined traffic a two-level sharded engine can fan out —
+// the locality axis of the giant-component churn benchmarks. If either
+// class is empty the other fills the pool; a graph with no routable
+// pairs at all yields an empty pool.
+func LocalityRequestPool(g *digraph.Digraph, groups [][]digraph.Vertex, frac float64, size int, seed int64) [][2]digraph.Vertex {
+	// Group memberships per vertex (glue vertices belong to two).
+	member := make([][]int, g.NumVertices())
+	for gi, vs := range groups {
+		for _, v := range vs {
+			member[v] = append(member[v], gi)
+		}
+	}
+	shareGroup := func(u, v digraph.Vertex) bool {
+		for _, a := range member[u] {
+			for _, b := range member[v] {
+				if a == b {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	n := g.NumVertices()
+	var local, cross [][2]digraph.Vertex
+	seen := make([]bool, n)
+	queue := make([]digraph.Vertex, 0, n)
+	for u := 0; u < n; u++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		src := digraph.Vertex(u)
+		seen[src] = true
+		queue = append(queue[:0], src)
+		for head := 0; head < len(queue); head++ {
+			for _, a := range g.OutArcs(queue[head]) {
+				if h := g.Arc(a).Head; !seen[h] {
+					seen[h] = true
+					queue = append(queue, h)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v == u || !seen[v] {
+				continue
+			}
+			pair := [2]digraph.Vertex{src, digraph.Vertex(v)}
+			if shareGroup(src, digraph.Vertex(v)) {
+				local = append(local, pair)
+			} else {
+				cross = append(cross, pair)
+			}
+		}
+	}
+	if len(local) == 0 && len(cross) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([][2]digraph.Vertex, 0, size)
+	for i := 0; i < size; i++ {
+		pick := local
+		if len(local) == 0 || (rng.Float64() >= frac && len(cross) > 0) {
+			pick = cross
+		}
+		pool = append(pool, pick[rng.Intn(len(pick))])
+	}
+	return pool
+}
+
 // RandomDAG returns a DAG on n vertices with m arcs drawn uniformly among
 // the forward pairs of the identity topological order (parallel arcs are
 // avoided when possible).

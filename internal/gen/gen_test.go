@@ -364,3 +364,62 @@ func TestGeneratorsDeterministic(t *testing.T) {
 		t.Fatal("RandomNoInternalCycleDAG not deterministic")
 	}
 }
+
+func TestGlueChain(t *testing.T) {
+	parts := make([]*digraph.Digraph, 4)
+	total := 0
+	for i := range parts {
+		g, err := RandomNoInternalCycleDAG(10, 2, 2, 0.25, int64(60+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = g
+		total += g.NumVertices()
+	}
+	g, partVerts, err := GlueChain(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three glue points merge one vertex pair each.
+	if got, want := g.NumVertices(), total-(len(parts)-1); got != want {
+		t.Fatalf("glued graph has %d vertices, want %d", got, want)
+	}
+	// One weakly connected component: the layout PartitionComponents
+	// cannot split...
+	labels := g.ComponentLabels()
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("glued graph is not weakly connected")
+		}
+	}
+	// ...but PartitionRegions can: at least one region per part, and no
+	// region spans two non-adjacent parts.
+	regions := g.PartitionRegions()
+	if regions.NumRegions() < len(parts) {
+		t.Fatalf("only %d regions for %d glued parts", regions.NumRegions(), len(parts))
+	}
+	// The glued graph must stay a DAG.
+	if _, err := dag.TopoSort(g); err != nil {
+		t.Fatalf("glued graph is not a DAG: %v", err)
+	}
+	// Part vertex lists translate faithfully: every part arc exists
+	// between the translated endpoints.
+	for i, part := range parts {
+		for _, a := range part.Arcs() {
+			if _, ok := g.ArcBetween(partVerts[i][a.Tail], partVerts[i][a.Head]); !ok {
+				t.Fatalf("part %d arc %d->%d missing after gluing", i, a.Tail, a.Head)
+			}
+		}
+	}
+	// Vertices of non-adjacent parts never share a region.
+	if _, _, _, ok := regions.CommonRegion(partVerts[0][0], partVerts[3][0]); ok {
+		t.Fatal("vertices of parts 0 and 3 share a region")
+	}
+}
+
+func TestLocalityRequestPoolEmpty(t *testing.T) {
+	// A graph with no routable pairs yields an empty pool, not a panic.
+	if pool := LocalityRequestPool(digraph.New(5), nil, 0.9, 10, 1); len(pool) != 0 {
+		t.Fatalf("pool over an arcless graph has %d entries", len(pool))
+	}
+}

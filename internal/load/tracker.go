@@ -65,6 +65,30 @@ func (t *Tracker) Remove(p *dipath.Path) {
 	t.total--
 }
 
+// AddArc accounts one more traversal of arc a alone. It is the unit the
+// sharded engine's cross-lane reconciliation works in: a tracker
+// mirroring a path owned by another lane's session bumps exactly the
+// arcs it shares, while the path count stays with the owning tracker
+// (NumPaths is unaffected).
+func (t *Tracker) AddArc(a digraph.ArcID) {
+	t.loads[a]++
+	if t.loads[a] > t.pi {
+		t.pi = t.loads[a]
+	}
+}
+
+// RemoveArc un-accounts one traversal of arc a (see AddArc); the arc
+// must currently carry load.
+func (t *Tracker) RemoveArc(a digraph.ArcID) {
+	if t.loads[a] == 0 {
+		panic(fmt.Sprintf("load: RemoveArc of unloaded arc %d", a))
+	}
+	if t.loads[a] == t.pi {
+		t.piStale = true
+	}
+	t.loads[a]--
+}
+
 // Load returns the current load of arc a.
 func (t *Tracker) Load(a digraph.ArcID) int { return t.loads[a] }
 

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"wavedag/internal/digraph"
 	"wavedag/internal/dipath"
 	"wavedag/internal/gen"
 )
@@ -124,4 +125,44 @@ func TestTrackerRemoveUntrackedPanics(t *testing.T) {
 		}
 	}()
 	tr.Remove(withArcs)
+}
+
+// TestTrackerArcUnits checks the single-arc accounting the sharded
+// engine's cross-lane reconciliation uses: AddArc/RemoveArc must agree
+// with whole-path Add/Remove on loads and π, without touching the path
+// count.
+func TestTrackerArcUnits(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(15, 3, 3, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := gen.RandomWalkFamily(g, 30, 6, 9)
+	whole := NewTracker(g)
+	arcs := NewTracker(g)
+	for _, p := range fam {
+		whole.Add(p)
+		for _, a := range p.Arcs() {
+			arcs.AddArc(a)
+		}
+	}
+	if arcs.NumPaths() != 0 {
+		t.Fatalf("AddArc moved NumPaths to %d", arcs.NumPaths())
+	}
+	if whole.Pi() != arcs.Pi() {
+		t.Fatalf("π diverges: whole %d, per-arc %d", whole.Pi(), arcs.Pi())
+	}
+	for a := 0; a < g.NumArcs(); a++ {
+		if whole.Load(digraph.ArcID(a)) != arcs.Load(digraph.ArcID(a)) {
+			t.Fatalf("arc %d: loads diverge", a)
+		}
+	}
+	for _, p := range fam[:len(fam)/2] {
+		whole.Remove(p)
+		for _, a := range p.Arcs() {
+			arcs.RemoveArc(a)
+		}
+	}
+	if whole.Pi() != arcs.Pi() {
+		t.Fatalf("π diverges after removals: whole %d, per-arc %d", whole.Pi(), arcs.Pi())
+	}
 }

@@ -19,6 +19,18 @@ import (
 type Router struct {
 	g *digraph.Digraph
 
+	// comp labels every vertex with its weakly connected component, so
+	// infeasible cross-component requests are rejected in O(1) instead
+	// of by an exhausted search (no dipath crosses components). The
+	// labels are computed lazily, the first time a search exhausts —
+	// one-shot routers never pay the O(V+A) labeling pass, persistent
+	// routers converge to O(1) rejection. compArcs records the arc
+	// count the labels were computed at: arcs added later could merge
+	// components, so a grown graph falls back to the full search until
+	// the next exhausted search refreshes the snapshot.
+	comp     []int32
+	compArcs int
+
 	// BFS state, valid where stamp[v] == epoch.
 	epoch   int
 	stamp   []int
@@ -100,6 +112,28 @@ func NewRouter(g *digraph.Digraph) *Router {
 // Graph returns the digraph the router routes over.
 func (r *Router) Graph() *digraph.Digraph { return r.g }
 
+// rejectCrossComponent reports whether the request provably has no
+// route because its endpoints lie in different weakly connected
+// components, per the lazily maintained label snapshot (see the comp
+// field). False when no current snapshot exists — callers then search.
+func (r *Router) rejectCrossComponent(src, dst digraph.Vertex) bool {
+	return r.comp != nil &&
+		r.compArcs == r.g.NumArcs() &&
+		int(src) < len(r.comp) && int(dst) < len(r.comp) &&
+		r.comp[src] != r.comp[dst]
+}
+
+// noteExhausted records that a search just exhausted without reaching
+// its destination: the component labels are (re)computed — at most the
+// cost of the search that already ran — so the next infeasible request
+// on this router is rejected in O(1) instead of by another search.
+func (r *Router) noteExhausted() {
+	if r.comp == nil || r.compArcs != r.g.NumArcs() || len(r.comp) != r.g.NumVertices() {
+		r.comp = r.g.ComponentLabels()
+		r.compArcs = r.g.NumArcs()
+	}
+}
+
 // visit begins a new search: previous visited marks become stale in O(1).
 func (r *Router) visit() {
 	r.epoch++
@@ -125,6 +159,12 @@ func (r *Router) ShortestPath(src, dst digraph.Vertex) (*dipath.Path, error) {
 	if src == dst {
 		return dipath.FromVertices(g, src)
 	}
+	if r.rejectCrossComponent(src, dst) {
+		// No dipath crosses weakly connected components: the exhausted
+		// BFS below would reach the same answer, in O(component) per
+		// call instead of O(1).
+		return nil, ErrNoRoute{Request{src, dst}}
+	}
 	r.visit()
 	r.mark(src, -1)
 	r.queue = append(r.queue, src)
@@ -142,6 +182,7 @@ func (r *Router) ShortestPath(src, dst digraph.Vertex) (*dipath.Path, error) {
 			r.queue = append(r.queue, h)
 		}
 	}
+	r.noteExhausted()
 	return nil, ErrNoRoute{Request{src, dst}}
 }
 
@@ -214,6 +255,11 @@ func (r *Router) MinLoadPath(req Request, t *load.Tracker) (*dipath.Path, error)
 	if req.Src == req.Dst {
 		return dipath.FromVertices(g, req.Src)
 	}
+	if r.rejectCrossComponent(req.Src, req.Dst) {
+		// Same O(1) rejection as ShortestPath: no dipath crosses
+		// components, so the Dijkstra below could only exhaust itself.
+		return nil, ErrNoRoute{req}
+	}
 	if r.bestLoad == nil {
 		r.bestLoad = make([]int, n)
 		r.bestHops = make([]int, n)
@@ -258,6 +304,7 @@ func (r *Router) MinLoadPath(req Request, t *load.Tracker) (*dipath.Path, error)
 			}
 		}
 	}
+	r.noteExhausted()
 	return nil, ErrNoRoute{req}
 }
 

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"errors"
 	"testing"
 
 	"wavedag/internal/digraph"
@@ -124,5 +125,106 @@ func TestRouterMulticastMatchesWrapper(t *testing.T) {
 		if a[i].First() != origin || a[i].Last() != dests[i] {
 			t.Fatalf("dest %d: route %v has wrong endpoints", dests[i], a[i])
 		}
+	}
+}
+
+// TestRouterCrossComponentO1 pins the O(1) infeasibility rejection:
+// after one exhausted search has labeled the components, a
+// cross-component request must fail with ErrNoRoute without starting
+// another search — the epoch stamp (bumped by every BFS/Dijkstra
+// visit) is the expansion probe, and allocs/op bound the whole call to
+// the error value itself.
+func TestRouterCrossComponentO1(t *testing.T) {
+	// Two disjoint directed paths: 0->1->2 and 3->4->5.
+	g := digraph.New(6)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	g.MustAddArc(3, 4)
+	g.MustAddArc(4, 5)
+	r := NewRouter(g)
+
+	// Warm the router so lazily allocated state is in place.
+	if _, err := r.ShortestPath(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	tr := load.NewTracker(g)
+	if _, err := r.MinLoadPath(Request{0, 2}, tr); err != nil {
+		t.Fatal(err)
+	}
+	// The first infeasible request pays one exhausted search and labels
+	// the components; everything after it must be O(1).
+	if _, err := r.ShortestPath(0, 5); err == nil {
+		t.Fatal("cross-component pair routed")
+	}
+
+	check := func(name string, run func() error) {
+		t.Helper()
+		before := r.epoch
+		err := run()
+		var noRoute ErrNoRoute
+		if !errors.As(err, &noRoute) {
+			t.Fatalf("%s: got %v, want ErrNoRoute", name, err)
+		}
+		if r.epoch != before {
+			t.Fatalf("%s: search expansion detected (epoch %d -> %d)", name, before, r.epoch)
+		}
+		allocs := testing.AllocsPerRun(100, func() { _ = run() })
+		if allocs > 1 {
+			t.Fatalf("%s: %v allocs/op on the rejection path, want <= 1 (the error)", name, allocs)
+		}
+	}
+	check("ShortestPath", func() error {
+		_, err := r.ShortestPath(0, 5)
+		return err
+	})
+	check("MinLoadPath", func() error {
+		_, err := r.MinLoadPath(Request{0, 5}, tr)
+		return err
+	})
+
+	// Routable requests still route after rejected ones.
+	if _, err := r.ShortestPath(3, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterCrossComponentAfterGrowth checks the O(1) rejection is a
+// construction-time snapshot with a safe fallback: arcs added after
+// NewRouter can merge components, and the router must then find the new
+// route by search instead of trusting the stale labels.
+func TestRouterCrossComponentAfterGrowth(t *testing.T) {
+	g := digraph.New(4)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(2, 3)
+	r := NewRouter(g)
+	if _, err := r.ShortestPath(0, 3); err == nil {
+		t.Fatal("disconnected pair routed")
+	}
+	g.MustAddArc(1, 2) // bridges the components after construction
+	p, err := r.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatalf("bridged pair not routed past the stale labels: %v", err)
+	}
+	if p.NumArcs() != 3 {
+		t.Fatalf("route %v, want 0->1->2->3", p)
+	}
+	tr := load.NewTracker(g)
+	if _, err := r.MinLoadPath(Request{0, 3}, tr); err != nil {
+		t.Fatalf("min-load bridged pair not routed: %v", err)
+	}
+
+	// Vertex growth: an unreachable new vertex must produce a clean
+	// ErrNoRoute — the rejection guard must not index past the label
+	// snapshot. (The Dijkstra scratch arrays are probed through a
+	// router that has not warmed them yet: their sizing at first use is
+	// a pre-existing preallocation contract, not the guard's.)
+	r2 := NewRouter(g)
+	v := g.AddVertex("")
+	g.MustAddArc(v, 0)
+	if _, err := r.ShortestPath(0, v); err == nil {
+		t.Fatal("unreachable grown vertex routed")
+	}
+	if _, err := r2.MinLoadPath(Request{0, v}, load.NewTracker(g)); err == nil {
+		t.Fatal("min-load unreachable grown vertex routed")
 	}
 }

@@ -1,10 +1,13 @@
 package wdm
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"wavedag/internal/core"
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
 	"wavedag/internal/load"
 	"wavedag/internal/route"
 )
@@ -237,5 +240,165 @@ func TestSessionFullStrategy(t *testing.T) {
 	}
 	if _, err := net.NewSession(WithColoringStrategyName("no-such-strategy")); err == nil {
 		t.Fatal("unknown coloring strategy accepted")
+	}
+}
+
+// flakyColoringState fails the next `*fail` Add calls before touching
+// the wrapped state, simulating a coloring layer that rejects an
+// insertion mid-Reroute.
+type flakyColoringState struct {
+	ColoringState
+	fail *int
+}
+
+func (s *flakyColoringState) Add(p *dipath.Path) (int, error) {
+	if *s.fail > 0 {
+		*s.fail--
+		return -1, errors.New("injected coloring failure")
+	}
+	return s.ColoringState.Add(p)
+}
+
+type flakyColoringStrategy struct {
+	inner ColoringStrategy
+	fail  *int
+}
+
+func (s flakyColoringStrategy) Name() string { return "flaky-" + s.inner.Name() }
+
+func (s flakyColoringStrategy) NewState(g *digraph.Digraph, slack int) (ColoringState, error) {
+	st, err := s.inner.NewState(g, slack)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyColoringState{ColoringState: st, fail: s.fail}, nil
+}
+
+// rerouteFixture builds a min-load session on a diamond (0->1->3,
+// 0->2->3) whose first request routes via 1, with extra traffic loading
+// that branch so a Reroute of the first request must switch to the
+// branch via 2 — forcing the coloring Remove+Add sequence whose failure
+// paths the tests below inject into.
+func rerouteFixture(t *testing.T) (*Session, SessionID, *int) {
+	t.Helper()
+	g := digraph.New(4)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 3)
+	g.MustAddArc(0, 2)
+	g.MustAddArc(2, 3)
+	fail := new(int)
+	inner, ok := LookupColoringStrategy(ColoringIncremental)
+	if !ok {
+		t.Fatal("incremental strategy not registered")
+	}
+	net := &Network{Topology: g}
+	s, err := net.NewSession(
+		WithRoutingPolicy(RouteMinLoad),
+		WithColoringStrategy(flakyColoringStrategy{inner: inner, fail: fail}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Add(route.Request{Src: 0, Dst: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []route.Request{{Src: 0, Dst: 1}, {Src: 1, Dst: 3}} {
+		if _, err := s.Add(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := s.Path(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ContainsVertex(1) {
+		t.Fatalf("fixture: first request routed %v, want the branch via 1", p)
+	}
+	return s, id, fail
+}
+
+// TestSessionRerouteFailureRestore injects a coloring.Add failure after
+// Reroute has already removed the old slot: the session must restore
+// the old path, keep π and λ, and stay Verify-clean; the next
+// (uninjected) Reroute must then succeed.
+func TestSessionRerouteFailureRestore(t *testing.T) {
+	s, id, fail := rerouteFixture(t)
+	oldPath, _ := s.Path(id)
+	piBefore, lenBefore := s.Pi(), s.Len()
+	lambdaBefore, err := s.NumLambda()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	*fail = 1 // the reroute's Add fails; the restoring Add succeeds
+	changed, rerr := s.Reroute(id)
+	if rerr == nil || changed {
+		t.Fatalf("Reroute = (%v, %v), want an error with no change", changed, rerr)
+	}
+	if *fail != 0 {
+		t.Fatalf("injection not consumed (%d left)", *fail)
+	}
+	p, err := s.Path(id)
+	if err != nil {
+		t.Fatalf("request lost after restored failure: %v", err)
+	}
+	if !p.Equal(oldPath) {
+		t.Fatalf("path changed across a failed reroute: %v -> %v", oldPath, p)
+	}
+	if s.Pi() != piBefore || s.Len() != lenBefore {
+		t.Fatalf("π/len moved: π %d→%d len %d→%d", piBefore, s.Pi(), lenBefore, s.Len())
+	}
+	if lambda, err := s.NumLambda(); err != nil || lambda != lambdaBefore {
+		t.Fatalf("λ moved across a restored failure: %d → %d (%v)", lambdaBefore, lambda, err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("session not Verify-clean after restored failure: %v", err)
+	}
+
+	// The same reroute without injection must now go through.
+	changed, err = s.Reroute(id)
+	if err != nil || !changed {
+		t.Fatalf("clean Reroute = (%v, %v), want a changed route", changed, err)
+	}
+	if p, _ := s.Path(id); !p.ContainsVertex(2) {
+		t.Fatalf("rerouted path %v does not use the unloaded branch", p)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionRerouteFailureDrop injects failures into both the
+// reroute's Add and the restoring Add: the session must drop the
+// request cleanly — id dead, load released, Verify-clean — rather than
+// leak a half-installed state.
+func TestSessionRerouteFailureDrop(t *testing.T) {
+	s, id, fail := rerouteFixture(t)
+	lenBefore := s.Len()
+
+	*fail = 2 // reroute's Add and the restoring Add both fail
+	changed, rerr := s.Reroute(id)
+	if rerr == nil || changed {
+		t.Fatalf("Reroute = (%v, %v), want a drop error", changed, rerr)
+	}
+	if _, err := s.Path(id); err == nil {
+		t.Fatal("dropped request still resolves")
+	}
+	if s.Len() != lenBefore-1 {
+		t.Fatalf("Len = %d, want %d after the drop", s.Len(), lenBefore-1)
+	}
+	if err := s.Remove(id); err == nil {
+		t.Fatal("Remove of a dropped id succeeded")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("session not Verify-clean after a drop: %v", err)
+	}
+	// The session keeps working: the dropped request can be re-added.
+	if _, err := s.Add(route.Request{Src: 0, Dst: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -7,14 +7,26 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wavedag/internal/core"
 	"wavedag/internal/digraph"
 	"wavedag/internal/dipath"
 	"wavedag/internal/route"
 )
 
-// ShardedID identifies a live request inside a ShardedEngine: the shard
-// that owns it plus its SessionID within that shard's session. Treat it
-// as opaque.
+// ErrEngineClosed is returned by mutating ShardedEngine methods after
+// Close. Read-only queries (Len, Pi, NumLambda, Path, Provisioning,
+// Verify, ...) keep working on the frozen state.
+var ErrEngineClosed = errors.New("wdm: engine closed")
+
+// DefaultSubshardThreshold is the component size (in vertices) at which
+// NewShardedEngine decomposes a component into arc-disjoint regions and
+// runs it two-level. WithSubshardThreshold overrides; 0 disables.
+const DefaultSubshardThreshold = 64
+
+// ShardedID identifies a live request inside a ShardedEngine: the
+// executable shard that owns it (a whole component, one arc-disjoint
+// region of a two-level component, or a component's overlay lane) plus
+// its SessionID within that shard's session. Treat it as opaque.
 type ShardedID struct {
 	Shard int32
 	ID    SessionID
@@ -57,52 +69,138 @@ type BatchResult struct {
 	Err     error
 }
 
-// ShardedEngine is the concurrent counterpart of a Session: the
-// topology is partitioned into its weakly connected components and each
-// component gets its own independent Session over a compact
-// digraph.ComponentView. Since dipaths cannot cross components, the
-// per-shard sessions share no mutable state whatsoever — each owns its
-// router, load tracker, conflict graph and colorer outright — so a
-// batch of churn events, grouped by shard, executes shards genuinely in
-// parallel without a single lock or atomic on the per-event hot path.
+// ShardedEngine is the concurrent counterpart of a Session. The
+// topology is partitioned twice:
 //
-// Aggregation is offset-free: components share no arcs, so every shard
-// colors from wavelength 0 and the global λ count is the maximum (not
-// the sum) over shards, exactly as a single session's first-fit would
-// reuse colors across independent components. π is likewise the max;
-// ADMs sum (endpoints are disjoint across shards). The merged
-// Provisioning lists shards in index order and each shard's requests in
-// its slot order, so the output is deterministic regardless of which
-// worker finished first.
+//  1. into weakly connected components (digraph.PartitionComponents) —
+//     dipaths cannot cross components, so components are fully
+//     independent;
+//  2. components at or above the sub-shard threshold are further split
+//     into arc-disjoint regions (digraph.PartitionRegions): the
+//     biconnected blocks of the underlying undirected graph, which meet
+//     only at cut vertices. Every simple path between two co-region
+//     vertices stays inside the region, so region-confined requests
+//     route, load and color on a compact region sub-session exactly as
+//     they would globally, and paths in different regions never share
+//     an arc. Requests whose endpoints share no region must cross
+//     regions; they escalate to the component's serialized overlay
+//     lane, a session over the whole component view.
+//
+// Each executable shard — a whole small component, one region, or one
+// overlay lane — owns its router, load tracker, conflict graph and
+// colorer outright, so the per-event hot path takes no locks or
+// atomics. ApplyBatch groups a batch by owning shard and runs two
+// phases on a persistent worker pool (started at construction, shut
+// down by Close): phase 1 executes component shards and region lanes in
+// parallel; phase 2 reconciles each touched two-level component —
+// serialized per component, components in parallel — by folding the
+// region lanes' path deltas into the overlay tracker, applying the
+// component's overlay ops in input order, and scattering the overlay
+// paths' per-arc loads back into the region trackers. The overlay
+// session's tracker therefore holds the component's exact combined
+// load view (π stays exact), and each region tracker holds the exact
+// loads on its own arcs, which is all min-load routing inside a region
+// can ever consult.
+//
+// Wavelength aggregation is banded: regions of one component are
+// arc-disjoint, so their λ counts aggregate as a max, exactly like
+// components; the overlay lane's classes are reported offset above the
+// region maximum (overlay wavelength w maps to maxᵣλᵣ + w), so overlay
+// paths — which do share arcs with region paths — can never collide
+// with them, and a component's λ is maxᵣλᵣ + λ_overlay. Across
+// components λ remains the max. π is the max over components; the
+// merged Provisioning deduplicates ADMs globally.
 //
 // All methods are safe for concurrent use: one engine mutex serialises
-// API entry (batches never interleave), and concurrency happens inside
-// ApplyBatch across shards. Events within one batch that target the
-// same shard apply in input order; events on different shards commute,
-// so the final state is the same as any sequential execution of the
-// batch that preserves per-shard order.
+// API entry, so batches never interleave. Per-shard event order is the
+// input order; ops on one component split between region lanes and the
+// overlay lane are reconciled at the batch boundary (the overlay lane
+// applies after the region lanes, whatever the input interleaving).
+// Close waits for the in-flight batch, stops the worker pool and
+// freezes the engine: further mutations return ErrEngineClosed,
+// queries keep answering (serially).
 type ShardedEngine struct {
 	mu      sync.Mutex
 	net     *Network
-	shards  []*engineShard
-	label   []int32          // global vertex -> owning shard
-	localV  []digraph.Vertex // global vertex -> vertex inside its shard's view
+	comps   []*engineComponent
+	shards  []*engineShard   // flattened executable units; ShardedID.Shard indexes this
+	label   []int32          // global vertex -> owning component
+	localV  []digraph.Vertex // global vertex -> vertex inside its component's view
 	workers int
+	pool    *workerPool
+	closed  bool
+
+	// Batch-scoped scratch, reused across ApplyBatch calls.
+	p1Scratch   []int32 // phase-1 shard indices
+	p2Scratch   []int32 // phase-2 component indices
+	compStamp   []uint64
+	batchSerial uint64
 }
 
-// engineShard is one component's slice of the engine. Everything below
-// is owned exclusively by the shard; during ApplyBatch at most one
-// worker touches it.
+// shardKind distinguishes the three executable shard flavours.
+type shardKind uint8
+
+const (
+	shardPlain   shardKind = iota // one whole (small) component
+	shardRegion                   // one arc-disjoint region of a two-level component
+	shardOverlay                  // a two-level component's serialized cross-region lane
+)
+
+// engineShard is one executable unit of the engine. Everything below is
+// owned exclusively by the shard; during ApplyBatch at most one worker
+// touches it at a time (region lanes in phase 1, overlay lanes in their
+// component's phase-2 task).
 type engineShard struct {
 	idx  int32
+	kind shardKind
+	comp *engineComponent
 	sess *Session
-	view digraph.ComponentView
-	ops  []int32 // scratch: indices into the current batch
+
+	// Identifier translations from shard-local to the engine topology
+	// (composed through the component for region shards).
+	toGlobalVertex []digraph.Vertex
+	toGlobalArc    []digraph.ArcID
+	// Region shards also translate to component-local identifiers for
+	// the batch-boundary reconciliation.
+	toCompArc    []digraph.ArcID
+	toCompVertex []digraph.Vertex
+
+	ops    []shardOp    // scratch: this batch's ops
+	deltas []shardDelta // batch-scoped path deltas (region/overlay only)
 }
+
+// shardOp is one dispatched batch event: the index into the caller's
+// op slice plus the shard-local request (BatchAdd only).
+type shardOp struct {
+	idx int32
+	req route.Request
+}
+
+// shardDelta records one shard-local path the lane added or removed
+// during the current batch, for the phase-2 tracker reconciliation.
+type shardDelta struct {
+	add  bool
+	path *dipath.Path
+}
+
+// engineComponent is one weakly connected component of the engine
+// topology: either a single plain shard, or a two-level group of region
+// shards plus an overlay lane.
+type engineComponent struct {
+	idx          int32
+	view         digraph.ComponentView
+	plain        *engineShard // single-level components; nil when two-level
+	regions      *digraph.Regions
+	regionShards []*engineShard
+	overlay      *engineShard
+}
+
+func (c *engineComponent) twoLevel() bool { return c.plain == nil }
 
 // shardedConfig collects NewShardedEngine options.
 type shardedConfig struct {
 	workers     int
+	subshard    int
 	sessionOpts []SessionOption
 }
 
@@ -110,7 +208,9 @@ type shardedConfig struct {
 type ShardedOption func(*shardedConfig) error
 
 // WithShardWorkers bounds the number of workers ApplyBatch fans shards
-// out to (default: runtime.GOMAXPROCS(0)).
+// out to (default: runtime.GOMAXPROCS(0)). The engine keeps a
+// persistent pool of n-1 worker goroutines (the caller is the n-th), so
+// small batches pay no spawn cost; Close stops the pool.
 func WithShardWorkers(n int) ShardedOption {
 	return func(c *shardedConfig) error {
 		if n < 1 {
@@ -122,7 +222,8 @@ func WithShardWorkers(n int) ShardedOption {
 }
 
 // WithShardSessionOptions forwards session options (routing/coloring
-// strategy, slack, capacity hint) to every per-shard session.
+// strategy, slack, capacity hint) to every per-shard session, region
+// and overlay lanes included.
 func WithShardSessionOptions(opts ...SessionOption) ShardedOption {
 	return func(c *shardedConfig) error {
 		c.sessionOpts = append(c.sessionOpts, opts...)
@@ -130,12 +231,29 @@ func WithShardSessionOptions(opts ...SessionOption) ShardedOption {
 	}
 }
 
+// WithSubshardThreshold sets the component size (in vertices) at which
+// a weakly connected component is decomposed into arc-disjoint regions
+// and run two-level (default DefaultSubshardThreshold). 0 disables
+// sub-sharding entirely — every component runs as one plain shard, the
+// pre-two-level layout. Components whose decomposition yields a single
+// region (fully biconnected) stay plain regardless.
+func WithSubshardThreshold(n int) ShardedOption {
+	return func(c *shardedConfig) error {
+		if n < 0 {
+			return fmt.Errorf("wdm: sub-shard threshold must be >= 0, got %d", n)
+		}
+		c.subshard = n
+		return nil
+	}
+}
+
 // NewShardedEngine partitions the network's topology into weakly
-// connected components and opens one session per component. The
-// partition is built in one O(V+A) pass; each shard's session state is
-// sized by its component, not the whole topology.
+// connected components, decomposes giant components into arc-disjoint
+// regions (see WithSubshardThreshold), opens one session per executable
+// shard and starts the persistent worker pool. Callers should Close the
+// engine when done with mutations to stop the pool.
 func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error) {
-	cfg := shardedConfig{workers: runtime.GOMAXPROCS(0)}
+	cfg := shardedConfig{workers: runtime.GOMAXPROCS(0), subshard: DefaultSubshardThreshold}
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
 			return nil, err
@@ -143,42 +261,187 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 	}
 	views, label, localV := n.Topology.PartitionComponents()
 	e := &ShardedEngine{
-		net:     n,
-		shards:  make([]*engineShard, len(views)),
-		label:   label,
-		localV:  localV,
-		workers: cfg.workers,
+		net:       n,
+		comps:     make([]*engineComponent, 0, len(views)),
+		label:     label,
+		localV:    localV,
+		workers:   cfg.workers,
+		compStamp: make([]uint64, len(views)),
 	}
-	for i, view := range views {
-		subnet := &Network{Topology: view.G, Wavelengths: n.Wavelengths}
+	newSess := func(g *digraph.Digraph, what string) (*Session, error) {
+		subnet := &Network{Topology: g, Wavelengths: n.Wavelengths}
 		sess, err := subnet.NewSession(cfg.sessionOpts...)
 		if err != nil {
-			return nil, fmt.Errorf("wdm: shard %d: %w", i, err)
+			return nil, fmt.Errorf("wdm: %s: %w", what, err)
 		}
-		e.shards[i] = &engineShard{idx: int32(i), sess: sess, view: view}
+		return sess, nil
+	}
+	addShard := func(sh *engineShard) *engineShard {
+		sh.idx = int32(len(e.shards))
+		e.shards = append(e.shards, sh)
+		return sh
+	}
+	for ci, view := range views {
+		comp := &engineComponent{idx: int32(ci), view: view}
+		var regs *digraph.Regions
+		if cfg.subshard > 0 && view.G.NumVertices() >= cfg.subshard {
+			if r := view.G.PartitionRegions(); r.NumRegions() >= 2 {
+				regs = r
+			}
+		}
+		if regs == nil {
+			sess, err := newSess(view.G, fmt.Sprintf("component %d", ci))
+			if err != nil {
+				return nil, err
+			}
+			comp.plain = addShard(&engineShard{
+				kind: shardPlain, comp: comp, sess: sess,
+				toGlobalVertex: view.ToGlobalVertex,
+				toGlobalArc:    view.ToGlobalArc,
+			})
+		} else {
+			comp.regions = regs
+			for ri, rv := range regs.Views {
+				sess, err := newSess(rv.G, fmt.Sprintf("component %d region %d", ci, ri))
+				if err != nil {
+					return nil, err
+				}
+				gv := make([]digraph.Vertex, len(rv.ToGlobalVertex))
+				for i, cv := range rv.ToGlobalVertex {
+					gv[i] = view.ToGlobalVertex[cv]
+				}
+				ga := make([]digraph.ArcID, len(rv.ToGlobalArc))
+				for i, ca := range rv.ToGlobalArc {
+					ga[i] = view.ToGlobalArc[ca]
+				}
+				comp.regionShards = append(comp.regionShards, addShard(&engineShard{
+					kind: shardRegion, comp: comp, sess: sess,
+					toGlobalVertex: gv,
+					toGlobalArc:    ga,
+					toCompArc:      rv.ToGlobalArc,
+					toCompVertex:   rv.ToGlobalVertex,
+				}))
+			}
+			sess, err := newSess(view.G, fmt.Sprintf("component %d overlay", ci))
+			if err != nil {
+				return nil, err
+			}
+			comp.overlay = addShard(&engineShard{
+				kind: shardOverlay, comp: comp, sess: sess,
+				toGlobalVertex: view.ToGlobalVertex,
+				toGlobalArc:    view.ToGlobalArc,
+			})
+		}
+		e.comps = append(e.comps, comp)
+	}
+	// The pool starts last: constructor error paths leak no goroutines.
+	if e.workers > 1 {
+		e.pool = newWorkerPool(e.workers - 1)
 	}
 	return e, nil
 }
 
-// NumShards returns the number of topology components the engine runs.
+// Close waits for any in-flight batch, stops the persistent worker
+// pool and freezes the engine: subsequent mutations return
+// ErrEngineClosed, queries keep answering (serially). Close is
+// idempotent and safe to call concurrently with batches.
+func (e *ShardedEngine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+	return nil
+}
+
+// NumShards returns the number of executable shards: plain components,
+// regions and overlay lanes combined.
 func (e *ShardedEngine) NumShards() int { return len(e.shards) }
+
+// NumComponents returns the number of weakly connected components of
+// the engine topology.
+func (e *ShardedEngine) NumComponents() int { return len(e.comps) }
 
 // Workers returns the ApplyBatch worker bound.
 func (e *ShardedEngine) Workers() int { return e.workers }
 
-// shardFor resolves the owning shard of an add request, rejecting
-// out-of-range endpoints and cross-component pairs (which no dipath can
-// satisfy — the same answer a full search would reach, in O(1)).
-func (e *ShardedEngine) shardFor(req route.Request) (int32, error) {
+// EngineStats summarises the engine layout and the two-level lanes'
+// occupancy.
+type EngineStats struct {
+	Components   int // weakly connected components
+	TwoLevel     int // components running the two-level region layout
+	RegionShards int // region lanes across all two-level components
+	OverlayLive  int // live requests across all overlay lanes
+}
+
+// Stats reports the engine layout and overlay occupancy.
+func (e *ShardedEngine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := EngineStats{Components: len(e.comps)}
+	for _, c := range e.comps {
+		if c.twoLevel() {
+			st.TwoLevel++
+			st.RegionShards += len(c.regionShards)
+			st.OverlayLive += c.overlay.sess.Len()
+		}
+	}
+	return st
+}
+
+// OverlayLambda returns the maximum number of overlay wavelength
+// classes across components — the band the two-level aggregation stacks
+// above the region maximum (0 when no overlay lane holds a request).
+func (e *ShardedEngine) OverlayLambda() (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	max := 0
+	for _, c := range e.comps {
+		if !c.twoLevel() {
+			continue
+		}
+		n, err := c.overlay.sess.NumLambda()
+		if err != nil {
+			return 0, fmt.Errorf("wdm: component %d overlay: %w", c.idx, err)
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max, nil
+}
+
+// ── Dispatch ───────────────────────────────────────────────────────────
+
+// dispatchAdd resolves the executable shard of an add request and the
+// request in that shard's local identifiers. Out-of-range endpoints and
+// cross-component pairs (which no dipath can satisfy — the same answer
+// a full search would reach) are rejected in O(1); two-level components
+// route co-region pairs to the region lane and everything else to the
+// overlay lane.
+func (e *ShardedEngine) dispatchAdd(req route.Request) (*engineShard, route.Request, error) {
 	n := len(e.label)
 	if req.Src < 0 || req.Dst < 0 || int(req.Src) >= n || int(req.Dst) >= n {
-		return -1, fmt.Errorf("wdm: vertex out of range")
+		return nil, req, fmt.Errorf("wdm: vertex out of range")
 	}
-	s := e.label[req.Src]
-	if s != e.label[req.Dst] {
-		return -1, route.ErrNoRoute{Req: req}
+	ci := e.label[req.Src]
+	if ci != e.label[req.Dst] {
+		return nil, req, route.ErrNoRoute{Req: req}
 	}
-	return s, nil
+	c := e.comps[ci]
+	lsrc, ldst := e.localV[req.Src], e.localV[req.Dst]
+	if !c.twoLevel() {
+		return c.plain, route.Request{Src: lsrc, Dst: ldst}, nil
+	}
+	if r, ru, rv, ok := c.regions.CommonRegion(lsrc, ldst); ok {
+		return c.regionShards[r], route.Request{Src: ru, Dst: rv}, nil
+	}
+	return c.overlay, route.Request{Src: lsrc, Dst: ldst}, nil
 }
 
 // shardOf resolves a ShardedID's shard, rejecting ids the engine never
@@ -192,7 +455,7 @@ func (e *ShardedEngine) shardOf(id ShardedID) (*engineShard, error) {
 
 // globalizeErr rewrites shard-local vertex identifiers in a session
 // error back to the engine topology, so callers never see ids from the
-// compact component view (which name different global vertices). prefix
+// compact shard view (which name different global vertices). prefix
 // restores the operation context the rebuilt error would otherwise lose
 // ("wdm: routing" / "wdm: rerouting").
 func (sh *engineShard) globalizeErr(prefix string, err error) error {
@@ -200,31 +463,68 @@ func (sh *engineShard) globalizeErr(prefix string, err error) error {
 	if !errors.As(err, &nr) {
 		return err
 	}
-	n := len(sh.view.ToGlobalVertex)
+	n := len(sh.toGlobalVertex)
 	if nr.Req.Src < 0 || int(nr.Req.Src) >= n || nr.Req.Dst < 0 || int(nr.Req.Dst) >= n {
 		return err
 	}
 	return fmt.Errorf("%s: %w", prefix, route.ErrNoRoute{Req: route.Request{
-		Src: sh.view.ToGlobalVertex[nr.Req.Src],
-		Dst: sh.view.ToGlobalVertex[nr.Req.Dst],
+		Src: sh.toGlobalVertex[nr.Req.Src],
+		Dst: sh.toGlobalVertex[nr.Req.Dst],
 	}})
 }
 
+// livePath returns the shard-local path of a live id, or nil.
+func (sh *engineShard) livePath(id SessionID) *dipath.Path {
+	ent, err := sh.sess.lookup(id)
+	if err != nil {
+		return nil
+	}
+	return ent.path
+}
+
 // apply executes one op against the shard. Called by at most one worker
-// per shard at a time.
-func (sh *engineShard) apply(e *ShardedEngine, op BatchOp) BatchResult {
+// per shard at a time. lreq is the shard-local request (BatchAdd only).
+// Region and overlay lanes log the path deltas the phase-2 tracker
+// reconciliation replays.
+func (sh *engineShard) apply(e *ShardedEngine, op BatchOp, lreq route.Request) BatchResult {
 	switch op.Kind {
 	case BatchAdd:
-		lreq := route.Request{Src: e.localV[op.Req.Src], Dst: e.localV[op.Req.Dst]}
 		id, err := sh.sess.Add(lreq)
 		if err != nil {
 			return BatchResult{Err: sh.globalizeErr("wdm: routing", err)}
 		}
+		if sh.kind != shardPlain {
+			sh.deltas = append(sh.deltas, shardDelta{add: true, path: sh.livePath(id)})
+		}
 		return BatchResult{ID: ShardedID{Shard: sh.idx, ID: id}}
 	case BatchRemove:
-		return BatchResult{ID: op.ID, Err: sh.sess.Remove(op.ID.ID)}
+		var old *dipath.Path
+		if sh.kind != shardPlain {
+			old = sh.livePath(op.ID.ID)
+		}
+		err := sh.sess.Remove(op.ID.ID)
+		if err == nil && old != nil {
+			sh.deltas = append(sh.deltas, shardDelta{path: old})
+		}
+		return BatchResult{ID: op.ID, Err: err}
 	case BatchReroute:
+		var old *dipath.Path
+		if sh.kind != shardPlain {
+			old = sh.livePath(op.ID.ID)
+		}
 		changed, err := sh.sess.Reroute(op.ID.ID)
+		if sh.kind != shardPlain && old != nil {
+			switch {
+			case err == nil && changed:
+				sh.deltas = append(sh.deltas,
+					shardDelta{path: old},
+					shardDelta{add: true, path: sh.livePath(op.ID.ID)})
+			case err != nil && sh.livePath(op.ID.ID) == nil:
+				// The failure path could not restore the old slot and
+				// dropped the request: reconcile the removal.
+				sh.deltas = append(sh.deltas, shardDelta{path: old})
+			}
+		}
 		if err != nil {
 			err = sh.globalizeErr("wdm: rerouting", err)
 		}
@@ -234,150 +534,276 @@ func (sh *engineShard) apply(e *ShardedEngine, op BatchOp) BatchResult {
 	}
 }
 
+// ── Batch execution ────────────────────────────────────────────────────
+
 // ApplyBatch applies a slice of churn events, grouping them by owning
-// shard and executing the shards concurrently on up to Workers()
-// goroutines. Results are parallel to ops; per-shard event order is the
-// input order. Ops that cannot be dispatched (out-of-range vertices,
-// cross-component requests, unknown shards) fail individually without
-// aborting the batch.
+// shard and executing phase 1 (plain components and region lanes) in
+// parallel on the persistent pool, then phase 2 (overlay lanes and the
+// two-level tracker reconciliation) with one serialized task per
+// touched component. Results are parallel to ops; per-shard event order
+// is the input order. Ops that cannot be dispatched (out-of-range
+// vertices, cross-component requests, unknown shards) fail
+// individually without aborting the batch.
 func (e *ShardedEngine) ApplyBatch(ops []BatchOp) []BatchResult {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	results := make([]BatchResult, len(ops))
-	active := e.group(ops, results)
-	e.runShards(active, func(sh *engineShard) {
-		for _, i := range sh.ops {
-			results[i] = sh.apply(e, ops[i])
+	if e.closed {
+		for i := range results {
+			results[i].Err = ErrEngineClosed
 		}
-	})
-	for _, si := range active {
-		e.shards[si].ops = e.shards[si].ops[:0]
+		return results
 	}
+	e.applyLocked(ops, results)
 	return results
 }
 
-// group routes each op to its shard's mailbox, failing undispatchable
-// ops in place, and returns the shards with work in index order.
-func (e *ShardedEngine) group(ops []BatchOp, results []BatchResult) []int32 {
-	var active []int32
-	enqueue := func(si int32, i int) {
-		sh := e.shards[si]
-		if len(sh.ops) == 0 {
-			active = append(active, si)
+// serialBatchThreshold is the batch size (in events) below which
+// ApplyBatch runs entirely inline: distributing ~1µs events across
+// workers costs more in handoff and wake-up (~2µs) than it saves, so
+// tiny batches skip the pool altogether — cheaper than both the pool
+// handoff and the per-batch goroutine spawn it replaced (see the
+// churn/sharded/.../batch=8 entries in BENCH_PR4.json).
+const serialBatchThreshold = 16
+
+func (e *ShardedEngine) applyLocked(ops []BatchOp, results []BatchResult) {
+	p1, p2 := e.group(ops, results)
+	serial := len(ops) <= serialBatchThreshold
+	e.fanOut(serial, len(p1), func(i int) {
+		sh := e.shards[p1[i]]
+		for _, so := range sh.ops {
+			results[so.idx] = sh.apply(e, ops[so.idx], so.req)
 		}
-		sh.ops = append(sh.ops, int32(i))
+		sh.ops = sh.ops[:0]
+	})
+	e.fanOut(serial, len(p2), func(i int) {
+		e.comps[p2[i]].overlayPhase(e, ops, results)
+	})
+}
+
+// group routes each op to its shard's mailbox, failing undispatchable
+// ops in place. It returns the phase-1 shards (plain and region, in
+// first-touch order) and the two-level components that need a phase-2
+// task (any region or overlay traffic this batch).
+func (e *ShardedEngine) group(ops []BatchOp, results []BatchResult) (p1, p2 []int32) {
+	p1, p2 = e.p1Scratch[:0], e.p2Scratch[:0]
+	e.batchSerial++
+	enqueue := func(sh *engineShard, i int, req route.Request) {
+		if sh.kind != shardPlain && e.compStamp[sh.comp.idx] != e.batchSerial {
+			e.compStamp[sh.comp.idx] = e.batchSerial
+			p2 = append(p2, sh.comp.idx)
+		}
+		if sh.kind != shardOverlay && len(sh.ops) == 0 {
+			p1 = append(p1, sh.idx)
+		}
+		sh.ops = append(sh.ops, shardOp{idx: int32(i), req: req})
 	}
 	for i, op := range ops {
 		switch op.Kind {
 		case BatchAdd:
-			si, err := e.shardFor(op.Req)
+			sh, lreq, err := e.dispatchAdd(op.Req)
 			if err != nil {
 				results[i] = BatchResult{Err: err}
 				continue
 			}
-			enqueue(si, i)
+			enqueue(sh, i, lreq)
 		default:
 			sh, err := e.shardOf(op.ID)
 			if err != nil {
 				results[i] = BatchResult{Err: err}
 				continue
 			}
-			enqueue(sh.idx, i)
+			enqueue(sh, i, route.Request{})
 		}
 	}
-	// Mailboxes fill in op order and active in first-touch order; sort
-	// is unnecessary — workers may pick shards in any order anyway.
-	return active
+	e.p1Scratch, e.p2Scratch = p1, p2
+	return p1, p2
 }
 
-// runShards runs f once per listed shard, fanning out to the worker
-// bound when more than one shard has work. Each shard is processed by
-// exactly one worker, so f needs no synchronisation over shard state.
-func (e *ShardedEngine) runShards(shards []int32, f func(*engineShard)) {
-	w := e.workers
-	if w > len(shards) {
-		w = len(shards)
-	}
-	if w <= 1 {
-		for _, si := range shards {
-			f(e.shards[si])
-		}
-		return
-	}
-	var next atomic.Int32
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(shards) {
-					return
+// overlayPhase is a two-level component's phase-2 task, serialized per
+// component: (a) fold the region lanes' batch deltas into the overlay
+// tracker — after which it is the component's exact combined load view
+// again; (b) apply the overlay lane's ops in input order; (c) scatter
+// the overlay deltas' per-arc loads into the region trackers, so each
+// region lane keeps the exact loads on its own arcs for min-load
+// routing and π.
+func (c *engineComponent) overlayPhase(e *ShardedEngine, ops []BatchOp, results []BatchResult) {
+	ot := c.overlay.sess.tracker
+	for _, rs := range c.regionShards {
+		for _, d := range rs.deltas {
+			for _, a := range d.path.Arcs() {
+				if d.add {
+					ot.AddArc(rs.toCompArc[a])
+				} else {
+					ot.RemoveArc(rs.toCompArc[a])
 				}
-				f(e.shards[shards[i]])
 			}
-		}()
+		}
+		rs.deltas = rs.deltas[:0]
 	}
-	wg.Wait()
-}
-
-// allShards returns 0..len(shards)-1 for whole-engine sweeps.
-func (e *ShardedEngine) allShards() []int32 {
-	all := make([]int32, len(e.shards))
-	for i := range all {
-		all[i] = int32(i)
+	for _, so := range c.overlay.ops {
+		results[so.idx] = c.overlay.apply(e, ops[so.idx], so.req)
 	}
-	return all
+	c.overlay.ops = c.overlay.ops[:0]
+	for _, d := range c.overlay.deltas {
+		for _, a := range d.path.Arcs() {
+			rs := c.regionShards[c.regions.ArcRegion[a]]
+			la := c.regions.LocalArc[a]
+			if d.add {
+				rs.sess.tracker.AddArc(la)
+			} else {
+				rs.sess.tracker.RemoveArc(la)
+			}
+		}
+	}
+	c.overlay.deltas = c.overlay.deltas[:0]
 }
 
 // Add provisions a single request (see ApplyBatch for the batched
 // form).
 func (e *ShardedEngine) Add(req route.Request) (ShardedID, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	si, err := e.shardFor(req)
+	res, err := e.applyOne(AddOp(req))
 	if err != nil {
 		return ShardedID{}, err
 	}
-	res := e.shards[si].apply(e, AddOp(req))
 	return res.ID, res.Err
 }
 
 // Remove tears down the request with the given id.
 func (e *ShardedEngine) Remove(id ShardedID) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	sh, err := e.shardOf(id)
+	res, err := e.applyOne(RemoveOp(id))
 	if err != nil {
 		return err
 	}
-	return sh.sess.Remove(id.ID)
+	return res.Err
 }
 
 // Reroute re-routes the request with the given id against the current
 // loads of its shard; it reports whether the path changed.
 func (e *ShardedEngine) Reroute(id ShardedID) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	sh, err := e.shardOf(id)
+	res, err := e.applyOne(RerouteOp(id))
 	if err != nil {
 		return false, err
 	}
-	return sh.sess.Reroute(id.ID)
+	return res.Changed, res.Err
 }
 
+// applyOne runs one op through the batch machinery (so two-level
+// reconciliation happens exactly as in a batch of one).
+func (e *ShardedEngine) applyOne(op BatchOp) (BatchResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return BatchResult{}, ErrEngineClosed
+	}
+	ops := [1]BatchOp{op}
+	results := [1]BatchResult{}
+	e.applyLocked(ops[:], results[:])
+	return results[0], nil
+}
+
+// ── Worker pool ────────────────────────────────────────────────────────
+
+// workerPool is a fixed set of goroutines started once per engine and
+// fed closures over a channel buffered to the pool size — fanOut never
+// submits more than n in-flight tasks, so submit never blocks (the
+// serialBatchThreshold calibration assumes this). It replaces the
+// per-batch goroutine spawn, so tiny batches stop paying startup cost.
+type workerPool struct {
+	tasks chan func()
+	done  sync.WaitGroup
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{tasks: make(chan func(), n)}
+	p.done.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.done.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) submit(f func()) { p.tasks <- f }
+
+func (p *workerPool) close() {
+	close(p.tasks)
+	p.done.Wait()
+}
+
+// fanOut runs f(0..n-1), each index exactly once, on up to Workers()
+// goroutines: the caller is always one of them (a single-shard batch
+// never pays a channel handoff) and the persistent pool supplies the
+// rest. Indices are claimed through a shared atomic cursor, so workers
+// load-balance uneven shards. serial forces the inline path (tiny
+// batches, see serialBatchThreshold).
+func (e *ShardedEngine) fanOut(serial bool, n int, f func(int)) {
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if serial || w <= 1 || e.pool == nil {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int32
+	drain := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			f(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for k := 0; k < w-1; k++ {
+		e.pool.submit(func() {
+			defer wg.Done()
+			drain()
+		})
+	}
+	drain()
+	wg.Wait()
+}
+
+// ── Queries and aggregates ─────────────────────────────────────────────
+
 // globalPath translates a shard-local dipath back to the engine's
-// topology.
+// topology. The translation is structure-preserving by construction, so
+// the arcs chain without revalidation (dipath.FromArcsTrusted).
 func (sh *engineShard) globalPath(e *ShardedEngine, p *dipath.Path) (*dipath.Path, error) {
 	if p.NumArcs() == 0 {
-		return dipath.FromVertices(e.net.Topology, sh.view.ToGlobalVertex[p.First()])
+		return dipath.FromVertices(e.net.Topology, sh.toGlobalVertex[p.First()])
 	}
 	arcs := make([]digraph.ArcID, p.NumArcs())
 	for i, a := range p.Arcs() {
-		arcs[i] = sh.view.ToGlobalArc[a]
+		arcs[i] = sh.toGlobalArc[a]
 	}
-	return dipath.FromArcs(e.net.Topology, arcs...)
+	return dipath.FromArcsTrusted(e.net.Topology, arcs...), nil
+}
+
+// compLocalPath translates a shard-local dipath to its component's
+// view (identity for plain and overlay shards).
+func (sh *engineShard) compLocalPath(p *dipath.Path) (*dipath.Path, error) {
+	if sh.kind != shardRegion {
+		return p, nil
+	}
+	if p.NumArcs() == 0 {
+		return dipath.FromVertices(sh.comp.view.G, sh.toCompVertex[p.First()])
+	}
+	arcs := make([]digraph.ArcID, p.NumArcs())
+	for i, a := range p.Arcs() {
+		arcs[i] = sh.toCompArc[a]
+	}
+	return dipath.FromArcsTrusted(sh.comp.view.G, arcs...), nil
 }
 
 // Path returns the current route of a live request, in the engine
@@ -396,8 +822,44 @@ func (e *ShardedEngine) Path(id ShardedID) (*dipath.Path, error) {
 	return sh.globalPath(e, p)
 }
 
-// Wavelength returns the current wavelength of a live request (see
-// Session.Wavelength).
+// regionLambdaMax returns the maximum λ across a two-level component's
+// region lanes — the base of the overlay lane's wavelength band.
+func (c *engineComponent) regionLambdaMax() (int, error) {
+	max := 0
+	for _, rs := range c.regionShards {
+		n, err := rs.sess.NumLambda()
+		if err != nil {
+			return 0, fmt.Errorf("wdm: component %d region: %w", c.idx, err)
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max, nil
+}
+
+// lambda returns a component's wavelength count: the per-shard λ for
+// plain components, the region maximum plus the overlay band for
+// two-level ones.
+func (c *engineComponent) lambda() (int, error) {
+	if !c.twoLevel() {
+		return c.plain.sess.NumLambda()
+	}
+	base, err := c.regionLambdaMax()
+	if err != nil {
+		return 0, err
+	}
+	on, err := c.overlay.sess.NumLambda()
+	if err != nil {
+		return 0, fmt.Errorf("wdm: component %d overlay: %w", c.idx, err)
+	}
+	return base + on, nil
+}
+
+// Wavelength returns the current wavelength of a live request. Overlay
+// lane wavelengths are reported in the component's effective band
+// (region maximum + overlay class), so the answer may shift upward as
+// region lanes grow; it is exact as of the call.
 func (e *ShardedEngine) Wavelength(id ShardedID) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -405,7 +867,15 @@ func (e *ShardedEngine) Wavelength(id ShardedID) (int, error) {
 	if err != nil {
 		return -1, err
 	}
-	return sh.sess.Wavelength(id.ID)
+	w, err := sh.sess.Wavelength(id.ID)
+	if err != nil || sh.kind != shardOverlay || w < 0 {
+		return w, err
+	}
+	base, err := sh.comp.regionLambdaMax()
+	if err != nil {
+		return -1, err
+	}
+	return base + w, nil
 }
 
 // Len returns the number of live requests across all shards.
@@ -419,14 +889,22 @@ func (e *ShardedEngine) Len() int {
 	return total
 }
 
-// Pi returns the load π of the live routing — the maximum over shards,
-// since components share no arcs.
+// Pi returns the load π of the live routing — the maximum over
+// components. A two-level component's overlay tracker holds the exact
+// combined load view (region lanes reconcile into it at every batch
+// boundary), so π stays exact under sub-sharding.
 func (e *ShardedEngine) Pi() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	pi := 0
-	for _, sh := range e.shards {
-		if p := sh.sess.Pi(); p > pi {
+	for _, c := range e.comps {
+		var p int
+		if c.twoLevel() {
+			p = c.overlay.sess.tracker.Pi()
+		} else {
+			p = c.plain.sess.Pi()
+		}
+		if p > pi {
 			pi = p
 		}
 	}
@@ -434,16 +912,17 @@ func (e *ShardedEngine) Pi() int {
 }
 
 // NumLambda returns the number of wavelengths in use: the maximum over
-// shards (offset-free union — wavelengths of independent components
-// overlap rather than stack).
+// components (offset-free union — wavelengths of independent components
+// overlap rather than stack), where a two-level component counts its
+// region maximum plus its overlay band.
 func (e *ShardedEngine) NumLambda() (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	num := 0
-	for _, sh := range e.shards {
-		n, err := sh.sess.NumLambda()
+	for _, c := range e.comps {
+		n, err := c.lambda()
 		if err != nil {
-			return 0, fmt.Errorf("wdm: shard %d: %w", sh.idx, err)
+			return 0, err
 		}
 		if n > num {
 			num = n
@@ -458,36 +937,92 @@ func (e *ShardedEngine) ArcLoads() []int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	loads := make([]int, e.net.Topology.NumArcs())
-	for _, sh := range e.shards {
-		sh.sess.tracker.ScatterLoads(loads, sh.view.ToGlobalArc)
+	for _, c := range e.comps {
+		if c.twoLevel() {
+			// The overlay tracker is the component's combined view.
+			c.overlay.sess.tracker.ScatterLoads(loads, c.view.ToGlobalArc)
+		} else {
+			c.plain.sess.tracker.ScatterLoads(loads, c.view.ToGlobalArc)
+		}
 	}
 	return loads
 }
 
-// Verify checks every shard's live assignment against the conflict
-// invariant; shards are checked concurrently and the first failure (in
-// shard order, deterministically) is reported.
+// verify checks one component's live assignment: a plain component
+// defers to its session; a two-level component materialises every
+// lane's paths in component identifiers with their effective (banded)
+// wavelengths and checks the combined assignment against the conflict
+// invariant — the strongest form, since it would catch a band collision
+// between lanes, not just per-lane improprieties.
+func (c *engineComponent) verify() error {
+	if !c.twoLevel() {
+		return c.plain.sess.Verify()
+	}
+	offset, err := c.regionLambdaMax()
+	if err != nil {
+		return err
+	}
+	var fam dipath.Family
+	var colors []int
+	numColors := 0
+	collect := func(sh *engineShard, off int) error {
+		slots, f := sh.sess.snapshot()
+		cs, _, _, err := sh.sess.coloring.Assignment(slots, f)
+		if err != nil {
+			return err
+		}
+		for i, p := range f {
+			cp, err := sh.compLocalPath(p)
+			if err != nil {
+				return err
+			}
+			fam = append(fam, cp)
+			colors = append(colors, cs[i]+off)
+			if cs[i]+off >= numColors {
+				numColors = cs[i] + off + 1
+			}
+		}
+		return nil
+	}
+	for _, rs := range c.regionShards {
+		if err := collect(rs, 0); err != nil {
+			return err
+		}
+	}
+	if err := collect(c.overlay, offset); err != nil {
+		return err
+	}
+	res := &core.Result{Colors: colors, NumColors: numColors, Pi: c.overlay.sess.tracker.Pi()}
+	return core.Verify(c.view.G, fam, res)
+}
+
+// Verify checks every component's live assignment against the conflict
+// invariant; components are checked concurrently and the first failure
+// (in component order, deterministically) is reported.
 func (e *ShardedEngine) Verify() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	errs := make([]error, len(e.shards))
-	e.runShards(e.allShards(), func(sh *engineShard) {
-		errs[sh.idx] = sh.sess.Verify()
+	errs := make([]error, len(e.comps))
+	e.fanOut(false, len(e.comps), func(i int) {
+		errs[i] = e.comps[i].verify()
 	})
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("wdm: shard %d: %w", i, err)
+			return fmt.Errorf("wdm: component %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
 // Provisioning materialises the engine's current state: shards
-// materialise concurrently, then merge in shard index order (each
-// shard's requests in its slot order), so the output is deterministic
-// regardless of worker scheduling. Paths are translated to the engine
-// topology; wavelengths are reported shard-local and offset-free —
-// they remain proper globally because components share no arcs.
+// materialise concurrently, then merge in component order — a two-level
+// component lists its region lanes in index order, then its overlay
+// lane, each in slot order — so the output is deterministic regardless
+// of worker scheduling. Paths are translated to the engine topology
+// through the trusted (no-revalidation) constructor; overlay
+// wavelengths are lifted into their component's effective band, and
+// ADMs are deduplicated globally (cut vertices can terminate lightpaths
+// from several lanes).
 func (e *ShardedEngine) Provisioning() (*Provisioning, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -496,8 +1031,8 @@ func (e *ShardedEngine) Provisioning() (*Provisioning, error) {
 	}
 	provs := make([]*Provisioning, len(e.shards))
 	errs := make([]error, len(e.shards))
-	e.runShards(e.allShards(), func(sh *engineShard) {
-		provs[sh.idx], errs[sh.idx] = sh.sess.Provisioning()
+	e.fanOut(false, len(e.shards), func(i int) {
+		provs[i], errs[i] = e.shards[i].sess.Provisioning()
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -513,25 +1048,55 @@ func (e *ShardedEngine) Provisioning() (*Provisioning, error) {
 		Wavelengths: make([]int, 0, total),
 		Method:      provs[0].Method,
 	}
-	for i, prov := range provs {
-		sh := e.shards[i]
+	appendShard := func(sh *engineShard, offset int) error {
+		prov := provs[sh.idx]
 		for j, p := range prov.Paths {
 			gp, err := sh.globalPath(e, p)
 			if err != nil {
-				return nil, fmt.Errorf("wdm: shard %d: %w", i, err)
+				return fmt.Errorf("wdm: shard %d: %w", sh.idx, err)
 			}
 			merged.Paths = append(merged.Paths, gp)
-			merged.Wavelengths = append(merged.Wavelengths, prov.Wavelengths[j])
-		}
-		if prov.NumLambda > merged.NumLambda {
-			merged.NumLambda = prov.NumLambda
-			merged.Method = prov.Method // the binding shard names the method
+			merged.Wavelengths = append(merged.Wavelengths, prov.Wavelengths[j]+offset)
 		}
 		if prov.Pi > merged.Pi {
 			merged.Pi = prov.Pi
 		}
-		merged.ADMs += prov.ADMs // endpoint sets are disjoint across shards
+		return nil
 	}
+	for _, c := range e.comps {
+		var compLambda int
+		var compMethod core.Method
+		if !c.twoLevel() {
+			if err := appendShard(c.plain, 0); err != nil {
+				return nil, err
+			}
+			compLambda = provs[c.plain.idx].NumLambda
+			compMethod = provs[c.plain.idx].Method
+		} else {
+			offset := 0
+			for _, rs := range c.regionShards {
+				if err := appendShard(rs, 0); err != nil {
+					return nil, err
+				}
+				if p := provs[rs.idx]; p.NumLambda > offset {
+					offset = p.NumLambda
+					compMethod = p.Method
+				}
+			}
+			if err := appendShard(c.overlay, offset); err != nil {
+				return nil, err
+			}
+			if op := provs[c.overlay.idx]; op.NumLambda > 0 {
+				compMethod = op.Method
+			}
+			compLambda = offset + provs[c.overlay.idx].NumLambda
+		}
+		if compLambda > merged.NumLambda {
+			merged.NumLambda = compLambda
+			merged.Method = compMethod // the binding component names the method
+		}
+	}
+	merged.ADMs = countADMs(merged.Paths, merged.Wavelengths)
 	merged.Feasible = e.net.Wavelengths == 0 || merged.NumLambda <= e.net.Wavelengths
 	return merged, nil
 }
@@ -539,9 +1104,11 @@ func (e *ShardedEngine) Provisioning() (*Provisioning, error) {
 // ShardRecolorStats reports a shard's incremental-colorer recolor
 // counters — warm (drifts absorbed by the class-seeded repack) and cold
 // (from-scratch pipeline runs) — when its coloring strategy maintains
-// an incremental colorer; ok is false otherwise. The counters are read
-// under the engine lock, so the call is safe concurrently with batches
-// (handing out the live colorer itself would not be).
+// an incremental colorer; ok is false otherwise. Shards index the
+// flattened layout (plain components, region lanes, overlay lanes; see
+// NumShards). The counters are read under the engine lock, so the call
+// is safe concurrently with batches (handing out the live colorer
+// itself would not be).
 func (e *ShardedEngine) ShardRecolorStats(shard int) (warm, cold int, ok bool) {
 	if shard < 0 || shard >= len(e.shards) {
 		return 0, 0, false

@@ -344,11 +344,14 @@ func TestShardedConcurrentStress(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(1000 + gi)))
 			var mine []ShardedID
+			// Batches above serialBatchThreshold, so the stress runs
+			// through the pooled fan-out rather than the inline path.
+			nops := 2 * serialBatchThreshold
 			for it := 0; it < iters; it++ {
-				ops := make([]BatchOp, 0, 12)
+				ops := make([]BatchOp, 0, nops)
 				removeFrom := len(mine)
 				nRemove := 0
-				for k := 0; k < 12; k++ {
+				for k := 0; k < nops; k++ {
 					if nRemove < removeFrom && rng.Intn(3) == 0 {
 						ops = append(ops, RemoveOp(mine[nRemove]))
 						nRemove++

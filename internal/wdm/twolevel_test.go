@@ -1,0 +1,638 @@
+package wdm
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"wavedag/internal/core"
+	"wavedag/internal/digraph"
+	"wavedag/internal/gen"
+	"wavedag/internal/route"
+)
+
+// giantComponentNetwork glues several Theorem 1 DAGs into one weakly
+// connected component: the layout component sharding cannot split, and
+// the reason the two-level engine exists.
+func giantComponentNetwork(t testing.TB, parts int, seed int64) *Network {
+	t.Helper()
+	gs := make([]*digraph.Digraph, parts)
+	for i := range gs {
+		g, err := gen.RandomNoInternalCycleDAG(14, 3, 3, 0.25, seed+int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs[i] = g
+	}
+	g, _, err := gen.GlueChain(gs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Network{Topology: g}
+}
+
+// twoLevelEngine opens a two-level engine on net and fails the test if
+// the topology did not actually sub-shard.
+func twoLevelEngine(t testing.TB, net *Network, opts ...ShardedOption) *ShardedEngine {
+	t.Helper()
+	eng, err := net.NewShardedEngine(append([]ShardedOption{WithSubshardThreshold(8)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.TwoLevel == 0 || st.RegionShards < 2 {
+		t.Fatalf("fixture did not sub-shard: %+v", st)
+	}
+	return eng
+}
+
+// TestTwoLevelEquivalence pins the two-level engine to a single Session
+// fed the same events in the engine's effective order (region-lane ops,
+// then overlay-lane ops, per batch — the documented batch-boundary
+// reconciliation semantics): routes must be exactly equal for every
+// live request (region-confined and overlay alike), π exactly equal,
+// λ within slack plus the overlay band, and the engine Verify-clean
+// after every batch.
+func TestTwoLevelEquivalence(t *testing.T) {
+	for _, policy := range []RoutingPolicy{RouteShortest, RouteMinLoad} {
+		t.Run(policy.String(), func(t *testing.T) {
+			net := giantComponentNetwork(t, 5, 211)
+			const slack = 2
+			single, err := net.NewSession(WithRoutingPolicy(policy), WithSlack(slack))
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := twoLevelEngine(t, net,
+				WithShardWorkers(4),
+				WithShardSessionOptions(WithRoutingPolicy(policy), WithSlack(slack)),
+			)
+			defer eng.Close()
+			overlayIdx := int32(eng.NumShards() - 1) // single component: overlay lane is last
+
+			pool := route.NewRouter(net.Topology).AllToAll()
+			rng := rand.New(rand.NewSource(19))
+
+			type pairID struct {
+				sid SessionID
+				eid ShardedID
+			}
+			live := map[int]pairID{} // op key -> ids
+			var liveKeys []int
+			nextKey := 0
+			sawRegion, sawOverlay := false, false
+
+			batches := 50
+			if testing.Short() {
+				batches = 12
+			}
+			for batch := 0; batch < batches; batch++ {
+				// Both regimes: batches below serialBatchThreshold run
+				// inline, larger ones exercise the pooled fan-out.
+				nops := 1 + rng.Intn(2*serialBatchThreshold)
+				ops := make([]BatchOp, 0, nops)
+				keys := make([]int, 0, nops)
+				removed := map[int]bool{}
+				for k := 0; k < nops; k++ {
+					if len(liveKeys) == 0 || len(removed) >= len(liveKeys) || (rng.Intn(3) != 0 && len(liveKeys) < 70) {
+						ops = append(ops, AddOp(pool[rng.Intn(len(pool))]))
+						keys = append(keys, nextKey)
+						nextKey++
+					} else {
+						j := rng.Intn(len(liveKeys))
+						for removed[liveKeys[j]] {
+							j = (j + 1) % len(liveKeys)
+						}
+						key := liveKeys[j]
+						removed[key] = true
+						ops = append(ops, RemoveOp(live[key].eid))
+						keys = append(keys, key)
+					}
+				}
+				results := eng.ApplyBatch(ops)
+				for k, res := range results {
+					if res.Err != nil {
+						t.Fatalf("batch %d op %d: %v", batch, k, res.Err)
+					}
+				}
+				// Replay on the single session in the engine's effective
+				// order: phase-1 (region) ops in input order, then the
+				// overlay lane's ops in input order.
+				for phase := 0; phase < 2; phase++ {
+					for k, op := range ops {
+						var shard int32
+						if op.Kind == BatchAdd {
+							shard = results[k].ID.Shard
+						} else {
+							shard = op.ID.Shard
+						}
+						overlay := shard == overlayIdx
+						if (phase == 1) != overlay {
+							continue
+						}
+						if overlay {
+							sawOverlay = true
+						} else {
+							sawRegion = true
+						}
+						switch op.Kind {
+						case BatchAdd:
+							sid, err := single.Add(op.Req)
+							if err != nil {
+								t.Fatalf("batch %d: single Add: %v", batch, err)
+							}
+							live[keys[k]] = pairID{sid, results[k].ID}
+							liveKeys = append(liveKeys, keys[k])
+						case BatchRemove:
+							if err := single.Remove(live[keys[k]].sid); err != nil {
+								t.Fatalf("batch %d: single Remove: %v", batch, err)
+							}
+							delete(live, keys[k])
+						}
+					}
+				}
+				compact := liveKeys[:0]
+				for _, key := range liveKeys {
+					if _, ok := live[key]; ok {
+						compact = append(compact, key)
+					}
+				}
+				liveKeys = compact
+
+				if got, want := eng.Len(), single.Len(); got != want {
+					t.Fatalf("batch %d: Len = %d, want %d", batch, got, want)
+				}
+				if got, want := eng.Pi(), single.Pi(); got != want {
+					t.Fatalf("batch %d: π = %d, want %d", batch, got, want)
+				}
+				en, err := eng.NumLambda()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sn, err := single.NumLambda()
+				if err != nil {
+					t.Fatal(err)
+				}
+				on, err := eng.OverlayLambda()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if en < sn-slack || en > sn+slack+on {
+					t.Fatalf("batch %d: engine λ = %d vs single λ = %d (overlay band %d), outside slack %d",
+						batch, en, sn, on, slack)
+				}
+				if err := eng.Verify(); err != nil {
+					t.Fatalf("batch %d: %v", batch, err)
+				}
+				// Route equality probes: both lanes must match the single
+				// session exactly (the effective-order replay makes even
+				// min-load routes identical).
+				for probes := 0; probes < 6 && len(liveKeys) > 0; probes++ {
+					key := liveKeys[rng.Intn(len(liveKeys))]
+					ep, err := eng.Path(live[key].eid)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sp, err := single.Path(live[key].sid)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ep.Equal(sp) {
+						t.Fatalf("batch %d: routes diverge for key %d: %v vs %v", batch, key, ep, sp)
+					}
+				}
+			}
+			if !sawRegion || !sawOverlay {
+				t.Fatalf("workload did not exercise both lanes (region=%v overlay=%v)", sawRegion, sawOverlay)
+			}
+
+			// Merged provisioning: one entry per live request, proper over
+			// the global topology despite the banded per-lane colorings.
+			prov, err := eng.Provisioning()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(prov.Paths) != eng.Len() {
+				t.Fatalf("merged provisioning has %d paths for %d live requests",
+					len(prov.Paths), eng.Len())
+			}
+			if prov.Pi != eng.Pi() {
+				t.Fatalf("merged π = %d, want %d", prov.Pi, eng.Pi())
+			}
+			res := &core.Result{Colors: prov.Wavelengths, NumColors: prov.NumLambda, Pi: prov.Pi}
+			if err := core.Verify(net.Topology, prov.Paths, res); err != nil {
+				t.Fatalf("merged provisioning not proper: %v", err)
+			}
+		})
+	}
+}
+
+// TestTwoLevelDeterminism runs one op stream (with overlay traffic)
+// through engines with 1 and 4 workers: the merged output must be
+// identical — worker scheduling must not leak into results.
+func TestTwoLevelDeterminism(t *testing.T) {
+	net := giantComponentNetwork(t, 4, 307)
+	pool := route.NewRouter(net.Topology).AllToAll()
+
+	run := func(workers int) *Provisioning {
+		eng := twoLevelEngine(t, net, WithShardWorkers(workers))
+		defer eng.Close()
+		rng := rand.New(rand.NewSource(8))
+		var ops []BatchOp
+		for k := 0; k < 180; k++ {
+			ops = append(ops, AddOp(pool[rng.Intn(len(pool))]))
+		}
+		var evens []ShardedID
+		for i, res := range eng.ApplyBatch(ops) {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if i%2 == 0 {
+				evens = append(evens, res.ID)
+			}
+		}
+		rem := make([]BatchOp, len(evens))
+		for i, id := range evens {
+			rem[i] = RemoveOp(id)
+		}
+		for _, res := range eng.ApplyBatch(rem) {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+		prov, err := eng.Provisioning()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prov
+	}
+
+	p1, p4 := run(1), run(4)
+	if p1.NumLambda != p4.NumLambda || p1.Pi != p4.Pi || p1.ADMs != p4.ADMs {
+		t.Fatalf("aggregates diverge across worker counts: λ %d/%d π %d/%d ADMs %d/%d",
+			p1.NumLambda, p4.NumLambda, p1.Pi, p4.Pi, p1.ADMs, p4.ADMs)
+	}
+	if len(p1.Paths) != len(p4.Paths) {
+		t.Fatalf("path counts diverge: %d vs %d", len(p1.Paths), len(p4.Paths))
+	}
+	for i := range p1.Paths {
+		if !p1.Paths[i].Equal(p4.Paths[i]) || p1.Wavelengths[i] != p4.Wavelengths[i] {
+			t.Fatalf("entry %d diverges across worker counts", i)
+		}
+	}
+}
+
+// TestTwoLevelReroute churns reroutes through both lanes and
+// cross-checks the reconciled trackers against an independent recount
+// of the live routes.
+func TestTwoLevelReroute(t *testing.T) {
+	net := giantComponentNetwork(t, 4, 401)
+	eng := twoLevelEngine(t, net,
+		WithShardWorkers(4),
+		WithShardSessionOptions(WithRoutingPolicy(RouteMinLoad)),
+	)
+	defer eng.Close()
+	pool := route.NewRouter(net.Topology).AllToAll()
+	rng := rand.New(rand.NewSource(17))
+
+	var ids []ShardedID
+	for k := 0; k < 120; k++ {
+		id, err := eng.Add(pool[rng.Intn(len(pool))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for round := 0; round < 3; round++ {
+		ops := make([]BatchOp, 0, len(ids))
+		for _, id := range ids {
+			ops = append(ops, RerouteOp(id))
+		}
+		for _, res := range eng.ApplyBatch(ops) {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+		if err := eng.Verify(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// Independent load recount from the public per-request routes.
+		loads := make([]int, net.Topology.NumArcs())
+		pi := 0
+		for _, id := range ids {
+			p, err := eng.Path(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range p.Arcs() {
+				loads[a]++
+				if loads[a] > pi {
+					pi = loads[a]
+				}
+			}
+		}
+		got := eng.ArcLoads()
+		for a := range loads {
+			if got[a] != loads[a] {
+				t.Fatalf("round %d: arc %d load %d, want %d (reconciliation drift)",
+					round, a, got[a], loads[a])
+			}
+		}
+		if eng.Pi() != pi {
+			t.Fatalf("round %d: π = %d, want %d", round, eng.Pi(), pi)
+		}
+	}
+}
+
+// TestTwoLevelDispatch pins lane selection and the O(1) rejections on a
+// mixed topology (one giant two-level component plus a small plain one).
+func TestTwoLevelDispatch(t *testing.T) {
+	giant := giantComponentNetwork(t, 3, 503)
+	small, err := gen.RandomNoInternalCycleDAG(4, 1, 1, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, _ := gen.DisjointUnion(gen.Instance{G: giant.Topology}, gen.Instance{G: small})
+	net := &Network{Topology: topo}
+	eng := twoLevelEngine(t, net)
+	defer eng.Close()
+
+	st := eng.Stats()
+	if st.Components != 2 || st.TwoLevel != 1 {
+		t.Fatalf("layout: %+v, want 2 components with 1 two-level", st)
+	}
+	regions := giant.Topology.PartitionRegions()
+	pool := route.NewRouter(topo).AllToAll()
+	giantN := giant.Topology.NumVertices()
+	overlayIdx := int32(st.RegionShards) // shards: regions 0..R-1, overlay R, plain R+1
+	sawRegion, sawOverlay := false, false
+	for _, req := range pool {
+		if int(req.Src) >= giantN || int(req.Dst) >= giantN {
+			continue // plain-component traffic
+		}
+		id, err := eng.Add(req) // giant component: vertex ids coincide with component-local ids
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, _, confined := regions.CommonRegion(req.Src, req.Dst)
+		if confined && id.Shard >= overlayIdx {
+			t.Fatalf("co-region request %v landed in shard %d", req, id.Shard)
+		}
+		if !confined && id.Shard != overlayIdx {
+			t.Fatalf("cross-region request %v landed in shard %d, want overlay %d", req, id.Shard, overlayIdx)
+		}
+		if confined {
+			sawRegion = true
+		} else {
+			sawOverlay = true
+		}
+	}
+	if !sawRegion || !sawOverlay {
+		t.Fatalf("pool exercised region=%v overlay=%v", sawRegion, sawOverlay)
+	}
+	// Cross-component rejection stays O(1) ErrNoRoute.
+	var noRoute route.ErrNoRoute
+	_, err = eng.Add(route.Request{Src: 0, Dst: digraph.Vertex(topo.NumVertices() - 1)})
+	if !errors.As(err, &noRoute) {
+		t.Fatalf("cross-component Add: got %v, want ErrNoRoute", err)
+	}
+}
+
+// TestShardedIDMisuse feeds stale, generation-recycled, foreign-engine
+// and unknown-shard ids through every mutating entry point and asserts
+// clean per-op errors with the engine state untouched.
+func TestShardedIDMisuse(t *testing.T) {
+	net := giantComponentNetwork(t, 3, 601)
+	eng := twoLevelEngine(t, net, WithShardWorkers(2))
+	defer eng.Close()
+	pool := route.NewRouter(net.Topology).AllToAll()
+	rng := rand.New(rand.NewSource(23))
+
+	var ids []ShardedID
+	var reqs []route.Request
+	for k := 0; k < 8; k++ {
+		req := pool[rng.Intn(len(pool))]
+		id, err := eng.Add(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		reqs = append(reqs, req)
+	}
+
+	// A foreign engine over the same topology, loaded far past this
+	// engine's slot tables, so its high-slot ids cannot resolve here.
+	foreign := twoLevelEngine(t, net, WithShardWorkers(1))
+	defer foreign.Close()
+	var foreignID ShardedID
+	for k := 0; k < 64; k++ {
+		id, err := foreign.Add(pool[rng.Intn(len(pool))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		foreignID = id
+	}
+
+	// Stale: removed id. Recycled: the slot is reused under a new
+	// generation by the next add on the same lane.
+	stale := ids[0]
+	if err := eng.Remove(stale); err != nil {
+		t.Fatal(err)
+	}
+	ids = ids[1:]
+
+	digest := func() (int, int, int, *Provisioning) {
+		n, err := eng.NumLambda()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prov, err := eng.Provisioning()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Len(), eng.Pi(), n, prov
+	}
+	wantLen, wantPi, wantLambda, wantProv := digest()
+
+	misuse := []struct {
+		name string
+		id   ShardedID
+	}{
+		{"stale-removed", stale},
+		{"unknown-shard", ShardedID{Shard: int32(eng.NumShards() + 7), ID: stale.ID}},
+		{"negative-shard", ShardedID{Shard: -1}},
+		{"high-slot", ShardedID{Shard: ids[0].Shard, ID: SessionID(1 << 20)}},
+		{"foreign-engine", foreignID},
+		{"wrong-shard", ShardedID{Shard: (foreignID.Shard + 1) % int32(eng.NumShards()), ID: foreignID.ID}},
+	}
+	for _, m := range misuse {
+		t.Run(m.name, func(t *testing.T) {
+			if err := eng.Remove(m.id); err == nil {
+				t.Fatal("Remove accepted a misused id")
+			}
+			if _, err := eng.Reroute(m.id); err == nil {
+				t.Fatal("Reroute accepted a misused id")
+			}
+			results := eng.ApplyBatch([]BatchOp{RemoveOp(m.id), RerouteOp(m.id)})
+			for i, res := range results {
+				if res.Err == nil {
+					t.Fatalf("batch op %d accepted a misused id", i)
+				}
+			}
+			gotLen, gotPi, gotLambda, gotProv := digest()
+			if gotLen != wantLen || gotPi != wantPi || gotLambda != wantLambda {
+				t.Fatalf("aggregates moved: len %d→%d π %d→%d λ %d→%d",
+					wantLen, gotLen, wantPi, gotPi, wantLambda, gotLambda)
+			}
+			if len(gotProv.Paths) != len(wantProv.Paths) {
+				t.Fatalf("provisioning size moved: %d → %d", len(wantProv.Paths), len(gotProv.Paths))
+			}
+			for i := range wantProv.Paths {
+				if !gotProv.Paths[i].Equal(wantProv.Paths[i]) || gotProv.Wavelengths[i] != wantProv.Wavelengths[i] {
+					t.Fatalf("provisioning entry %d moved", i)
+				}
+			}
+		})
+	}
+
+	// A batch mixing good and misused ops fails only the bad ones.
+	results := eng.ApplyBatch([]BatchOp{
+		AddOp(pool[0]),
+		RemoveOp(stale),
+	})
+	if results[0].Err != nil {
+		t.Fatalf("good op failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("misused op succeeded")
+	}
+
+	// Generation recycling: a slot freed by Remove and re-issued must
+	// invalidate the old id even though the slot index matches.
+	victim := ids[len(ids)-1]
+	victimReq := reqs[len(reqs)-1] // re-adding it targets the victim's lane
+	if err := eng.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	recycled := ShardedID{Shard: -1}
+	for k := 0; k < 64; k++ {
+		id, err := eng.Add(victimReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id.Shard == victim.Shard && uint32(id.ID) == uint32(victim.ID) {
+			recycled = id
+			break
+		}
+	}
+	if recycled.Shard < 0 {
+		t.Fatal("freed slot was not recycled within the probe budget")
+	}
+	if recycled.ID == victim.ID {
+		t.Fatal("recycled slot re-issued the same generation")
+	}
+	if err := eng.Remove(victim); err == nil {
+		t.Fatal("generation-recycled id still resolves")
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineClose checks the pool lifecycle: Close during in-flight
+// batches is safe (exercised under -race -cpu=1,4 in CI), mutations
+// after Close fail with ErrEngineClosed, queries keep answering, and
+// Close is idempotent.
+func TestEngineClose(t *testing.T) {
+	net := giantComponentNetwork(t, 3, 701)
+	eng := twoLevelEngine(t, net, WithShardWorkers(4))
+	pool := route.NewRouter(net.Topology).AllToAll()
+
+	const goroutines = 3
+	var started, done sync.WaitGroup
+	started.Add(goroutines)
+	done.Add(goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		go func(gi int) {
+			defer done.Done()
+			rng := rand.New(rand.NewSource(int64(100 + gi)))
+			var mine []ShardedID
+			signalled := false
+			// Batches larger than serialBatchThreshold, so Close races
+			// against the pooled fan-out, not just the inline path.
+			nops := 2 * serialBatchThreshold
+			for {
+				ops := make([]BatchOp, 0, nops)
+				nRemove := 0
+				for k := 0; k < nops; k++ {
+					if nRemove < len(mine) && rng.Intn(3) == 0 {
+						ops = append(ops, RemoveOp(mine[nRemove]))
+						nRemove++
+					} else {
+						ops = append(ops, AddOp(pool[rng.Intn(len(pool))]))
+					}
+				}
+				mine = mine[nRemove:]
+				closed := false
+				for i, res := range eng.ApplyBatch(ops) {
+					if errors.Is(res.Err, ErrEngineClosed) {
+						closed = true
+						break
+					}
+					if res.Err != nil {
+						t.Errorf("goroutine %d: %v", gi, res.Err)
+						closed = true
+						break
+					}
+					if ops[i].Kind == BatchAdd {
+						mine = append(mine, res.ID)
+					}
+				}
+				if !signalled {
+					signalled = true
+					started.Done() // at least one batch ran before Close
+				}
+				if closed {
+					return
+				}
+			}
+		}(gi)
+	}
+	started.Wait()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done.Wait()
+
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := eng.Add(pool[0]); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Add after Close: %v, want ErrEngineClosed", err)
+	}
+	if err := eng.Remove(ShardedID{}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Remove after Close: %v, want ErrEngineClosed", err)
+	}
+	if _, err := eng.Reroute(ShardedID{}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Reroute after Close: %v, want ErrEngineClosed", err)
+	}
+	for _, res := range eng.ApplyBatch([]BatchOp{AddOp(pool[0])}) {
+		if !errors.Is(res.Err, ErrEngineClosed) {
+			t.Fatalf("ApplyBatch after Close: %v, want ErrEngineClosed", res.Err)
+		}
+	}
+	// Queries still answer on the frozen state.
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.NumLambda(); err != nil {
+		t.Fatal(err)
+	}
+	prov, err := eng.Provisioning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prov.Paths) != eng.Len() {
+		t.Fatalf("frozen provisioning has %d paths for %d live requests", len(prov.Paths), eng.Len())
+	}
+}

@@ -100,10 +100,11 @@
 // (Network.NewShardedEngine) is the concurrent engine: the topology is
 // partitioned into its weakly connected components (one O(V+A) pass,
 // compact per-component views — no shard ever copies the full graph)
-// and every component gets its own Session. Dipaths cannot cross
-// components, so shards share no mutable state: each owns its router,
-// load tracker, conflict graph and colorer outright, and the per-event
-// hot path takes no locks or atomics.
+// and every small component gets its own Session; giant components are
+// further sub-sharded (next section). Dipaths cannot cross components,
+// so shards share no mutable state: each owns its router, load
+// tracker, conflict graph and colorer outright, and the per-event hot
+// path takes no locks or atomics.
 //
 // Ownership and safety rules:
 //
@@ -111,16 +112,61 @@
 //     one engine mutex serialises API entry, so batches never
 //     interleave. Concurrency happens inside ApplyBatch, which groups
 //     the batch by owning shard and fans the shards out to up to
-//     GOMAXPROCS workers (WithShardWorkers overrides).
+//     GOMAXPROCS workers (WithShardWorkers overrides) from the
+//     engine's persistent pool; batches of at most 16 events run
+//     inline, where the handoff would cost more than it distributes.
 //   - A shard is touched by exactly one worker per batch; events on the
 //     same shard apply in input order, events on different shards
-//     commute. Merged reports (Provisioning, Verify) assemble in shard
-//     index order, so results are deterministic regardless of worker
-//     scheduling.
+//     commute. Merged reports (Provisioning, Verify) assemble in
+//     component/shard index order, so results are deterministic
+//     regardless of worker scheduling.
 //   - The per-shard Sessions must not be driven directly; the engine
-//     owns them. Wavelength reports are offset-free: components share
-//     no arcs, so shards color independently from 0, the global λ is
-//     the max over shards, and the merged assignment is proper as-is.
+//     owns them. Wavelength reports are offset-free across components:
+//     components share no arcs, so they color independently from 0 and
+//     the global λ is the max over components (two-level components
+//     report their region maximum plus their overlay band), and the
+//     merged assignment is proper as-is.
+//
+// # Two-level sharding: giant components
+//
+// Component sharding alone serialises a topology dominated by one giant
+// weakly connected component. ShardedEngine therefore decomposes
+// components at or above WithSubshardThreshold vertices (default 64)
+// into arc-disjoint regions — the biconnected blocks of the underlying
+// undirected graph, computed by Graph.PartitionRegions — and runs one
+// sub-session per region plus one serialized overlay lane per
+// component. The soundness argument has two halves:
+//
+//   - Confinement: blocks meet only at cut vertices, so every simple
+//     path between two co-region vertices stays inside the region, and
+//     any arc joining two co-region vertices belongs to the region.
+//     Region-confined requests therefore route on the compact region
+//     view over exactly the global search space, and region views
+//     preserve relative vertex/arc order, so BFS and min-load Dijkstra
+//     return exactly the routes a whole-component session would.
+//   - Arc-disjointness: regions partition the arcs, so paths confined
+//     to different regions never conflict and region wavelength counts
+//     aggregate as a max, exactly like components.
+//
+// Requests whose endpoints share no region must cross regions; they
+// escalate to the component's overlay lane (a session over the whole
+// component view), which is serialized per component and reconciled at
+// batch boundaries: region path deltas fold into the overlay tracker
+// (keeping the component's combined load view — and π — exact) and
+// overlay path loads scatter back into the region trackers. Overlay
+// wavelengths are reported in a band above the region maximum, so the
+// merged assignment stays proper even though overlay paths share arcs
+// with region paths; a component's λ is the region maximum plus its
+// overlay band.
+//
+// ApplyBatch runs on a persistent worker pool started at engine
+// construction — batches pay no goroutine-spawn cost, however small —
+// and Close stops the pool: in-flight batches finish first, later
+// mutations fail with ErrEngineClosed, and queries keep answering on
+// the frozen state. Both the sharded dispatcher and the plain Router
+// reject infeasible cross-component requests in O(1) from component
+// labels (the Router computes them lazily, on its first exhausted
+// search) instead of repeating exhausted searches.
 //
 // BENCH_PR1.json records the measured baseline (ns/op, B/op, allocs/op,
 // before/after) for the E1–E12 experiment pipelines and the large-
@@ -128,8 +174,10 @@
 // workloads (session vs rebuild-from-scratch per event, with
 // configurable hold times); BENCH_PR3.json adds the sharded-engine
 // churn sweep (worker-count axis, batched ApplyBatch events) and the
-// warm-start recolor numbers; `make benchsmoke` keeps every benchmark
-// compiling and running.
+// warm-start recolor numbers; BENCH_PR4.json adds the giant-component
+// churn sweep (sub-shard threshold axis, locality-controlled traffic),
+// the small-batch worker-pool numbers and the trusted-translation merge
+// cost; `make benchsmoke` keeps every benchmark compiling and running.
 //
 // The sub-packages under internal/ hold the implementation; this package
 // re-exports the stable API.
@@ -219,7 +267,25 @@ type (
 	// ComponentView is a compact weakly-connected-component view of a
 	// Graph (see Graph.PartitionComponents).
 	ComponentView = digraph.ComponentView
+	// Regions is the arc-disjoint region decomposition of a Graph — the
+	// biconnected blocks of the underlying undirected graph, the
+	// substrate of two-level sharding (see Graph.PartitionRegions).
+	Regions = digraph.Regions
+	// RegionMember is one (region, local id) membership of a vertex in
+	// a Regions decomposition.
+	RegionMember = digraph.RegionMember
+	// EngineStats summarises a ShardedEngine's layout (see
+	// ShardedEngine.Stats).
+	EngineStats = wdm.EngineStats
 )
+
+// ErrEngineClosed is returned by mutating ShardedEngine methods after
+// Close; queries keep working on the frozen state.
+var ErrEngineClosed = wdm.ErrEngineClosed
+
+// DefaultSubshardThreshold is the component size (in vertices) at which
+// NewShardedEngine switches a component to the two-level region layout.
+const DefaultSubshardThreshold = wdm.DefaultSubshardThreshold
 
 // Routing policies accepted by Network.Provision and WithRoutingPolicy.
 const (
@@ -272,6 +338,11 @@ func WithShardWorkers(n int) ShardedOption { return wdm.WithShardWorkers(n) }
 func WithShardSessionOptions(opts ...SessionOption) ShardedOption {
 	return wdm.WithShardSessionOptions(opts...)
 }
+
+// WithSubshardThreshold sets the component size (in vertices) at which
+// a ShardedEngine decomposes a component into arc-disjoint regions and
+// runs it two-level; 0 disables sub-sharding.
+func WithSubshardThreshold(n int) ShardedOption { return wdm.WithSubshardThreshold(n) }
 
 // AddOp returns the batch event provisioning req.
 func AddOp(req Request) BatchOp { return wdm.AddOp(req) }
