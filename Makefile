@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify benchsmoke benchsmoke-sharded benchsmoke-subshard bench test
+.PHONY: verify benchsmoke benchsmoke-sharded benchsmoke-subshard benchsmoke-admission bench test
 
 verify:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ benchsmoke-sharded:
 # settings, so the region/overlay fan-out path cannot silently rot.
 benchsmoke-subshard:
 	$(GO) test -run=NONE -bench='SubshardChurn|AblationTrustedTranslation' -benchtime=1x -cpu=1,4 ./...
+
+# Admission smoke: the blocking-probability workload (budgeted session
+# and sharded engine) plus the reject-cost ablation pair (Theorem-1
+# precheck vs color-and-rollback), at two GOMAXPROCS settings.
+benchsmoke-admission:
+	$(GO) test -run=NONE -bench='AdmissionChurn' -benchtime=1x -cpu=1,4 ./...
 
 bench:
 	$(GO) run ./cmd/bench -benchtime 1s -out bench-latest.json

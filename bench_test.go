@@ -5,6 +5,7 @@
 package wavedag_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -493,6 +494,172 @@ func BenchmarkSubshardChurn(b *testing.B) {
 			b.StopTimer()
 			if err := eng.Verify(); err != nil {
 				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkAdmissionChurn measures the budgeted engines on the
+// blocking-probability workload: a hotspot-concentrated overload trace
+// against a finite wavelength budget — the plain session, the budgeted
+// sharded engine (batched through the pooled ApplyBatchInto), and the
+// rejection-cost pair (Theorem-1 precheck vs the color-and-rollback
+// probe it replaces). Run with -cpu=1,4 for the worker axis;
+// cmd/bench's admission/* entries are the calibrated snapshot form.
+func BenchmarkAdmissionChurn(b *testing.B) {
+	topo, err := gen.RandomNoInternalCycleDAG(40, 6, 6, 0.2, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := gen.HotspotRequestPool(topo, 10, 0.7, 2000, 17)
+	pool := make([]wavedag.Request, len(pairs))
+	for i, p := range pairs {
+		pool[i] = wavedag.Request{Src: p[0], Dst: p[1]}
+	}
+	const budget = 6
+
+	b.Run("session", func(b *testing.B) {
+		net := &wavedag.Network{Topology: topo}
+		s, err := net.NewSession(wavedag.WithWavelengthBudget(budget))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ids []wavedag.SessionID
+		for i := 0; i < 400; i++ {
+			if id, adm, err := s.TryAdd(pool[(i*31)%len(pool)]); err != nil {
+				b.Fatal(err)
+			} else if adm.Accepted {
+				ids = append(ids, id)
+				// keep a bounded working set
+				if len(ids) > 150 {
+					if err := s.Remove(ids[0]); err != nil {
+						b.Fatal(err)
+					}
+					ids = ids[1:]
+				}
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id, adm, err := s.TryAdd(pool[(i*13)%len(pool)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if adm.Accepted {
+				ids = append(ids, id)
+			}
+			if len(ids) > 150 {
+				if err := s.Remove(ids[0]); err != nil {
+					b.Fatal(err)
+				}
+				ids = ids[1:]
+			}
+		}
+		b.StopTimer()
+		if err := s.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		if n, err := s.NumLambda(); err != nil || n > budget {
+			b.Fatalf("λ=%d past budget (%v)", n, err)
+		}
+	})
+
+	b.Run("sharded", func(b *testing.B) {
+		parts := make([]gen.Instance, 4)
+		for i := range parts {
+			g, err := gen.RandomNoInternalCycleDAG(40, 8, 8, 0.2, int64(21+i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts[i] = gen.Instance{G: g}
+		}
+		g, _ := gen.DisjointUnion(parts...)
+		spairs := gen.HotspotRequestPool(g, 16, 0.7, 2000, 27)
+		spool := make([]wavedag.Request, len(spairs))
+		for i, p := range spairs {
+			spool[i] = wavedag.Request{Src: p[0], Dst: p[1]}
+		}
+		net := &wavedag.Network{Topology: g}
+		eng, err := net.NewShardedEngine(wavedag.WithEngineWavelengthBudget(budget))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		const batch = 32
+		ops := make([]wavedag.BatchOp, 0, batch)
+		var results []wavedag.BatchResult
+		var ids []wavedag.ShardedID
+		flush := func() {
+			results = eng.ApplyBatchInto(ops, results)
+			// Every staged op is an AddOp, so a nil error always carries the
+			// new id (the zero ShardedID is a legitimate one: shard 0, slot 0).
+			for _, res := range results {
+				switch {
+				case res.Err == nil:
+					ids = append(ids, res.ID)
+				case !errors.Is(res.Err, wavedag.ErrBudgetExceeded):
+					b.Fatal(res.Err)
+				}
+			}
+			ops = ops[:0]
+			for len(ids) > 200 {
+				if err := eng.Remove(ids[0]); err != nil {
+					b.Fatal(err)
+				}
+				ids = ids[1:]
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ops = append(ops, wavedag.AddOp(spool[(i*13)%len(spool)]))
+			if len(ops) == batch || i == b.N-1 {
+				flush()
+			}
+		}
+		b.StopTimer()
+		if err := eng.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		if n, err := eng.NumLambda(); err != nil || n > budget {
+			b.Fatalf("λ=%d past budget (%v)", n, err)
+		}
+	})
+
+	for _, probe := range []struct {
+		name string
+		opts []wavedag.SessionOption
+	}{
+		{"reject-precheck", nil},
+		{"reject-rollback", []wavedag.SessionOption{wavedag.WithAdmissionRollbackProbe()}},
+	} {
+		b.Run(probe.name, func(b *testing.B) {
+			net := &wavedag.Network{Topology: topo}
+			s, err := net.NewSession(append([]wavedag.SessionOption{
+				wavedag.WithWavelengthBudget(3)}, probe.opts...)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 600; i++ {
+				if _, _, err := s.TryAdd(pool[(i*31)%len(pool)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// A probe crossing a saturated arc: both admission paths must
+			// reject it every iteration without mutating the session.
+			probeReq, found := route.SaturatedRequest(topo, s.ArcLoads(), pool, 3)
+			if !found {
+				b.Fatal("no saturated probe found")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, adm, err := s.TryAdd(probeReq); err != nil {
+					b.Fatal(err)
+				} else if adm.Accepted {
+					b.Fatal("saturated probe accepted")
+				}
 			}
 		})
 	}

@@ -1,0 +1,278 @@
+// Admission workload driver: blocking-probability churn under a
+// wavelength budget. The offered load is calibrated from an unbudgeted
+// steady-state run (its π), and the budget axis sweeps w ∈ {π/2, π,
+// 2π}: well under, at, and well over the offered load. ns/op is per
+// event; the accept rate and the actual budget ride along as benchmark
+// metrics (Entry.Extra in the JSON snapshot).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/route"
+	"wavedag/internal/wdm"
+)
+
+// offeredPi replays the driver's trace unbudgeted to steady state and
+// returns the resulting load π — the offered-load yardstick the budget
+// sweep is calibrated against.
+func offeredPi(g *digraph.Digraph, pool []route.Request, liveTarget int, seed int64) int {
+	net := &wdm.Network{Topology: g}
+	s, err := net.NewSession()
+	if err != nil {
+		fatal(err)
+	}
+	d := newChurnDriver(pool, float64(liveTarget), seed)
+	ids := make(map[int]wdm.SessionID, liveTarget)
+	for i := 0; i < liveTarget*3; i++ {
+		op := d.nextOp()
+		if op.add {
+			id, err := s.Add(op.req)
+			if err != nil {
+				fatal(err)
+			}
+			ids[op.seq] = id
+		} else if id, ok := ids[op.seq]; ok {
+			if err := s.Remove(id); err != nil {
+				fatal(err)
+			}
+			delete(ids, op.seq)
+		}
+	}
+	return s.Pi()
+}
+
+// admissionChurnBench measures a budgeted session's per-event cost on
+// the blocking-probability workload. Departures of rejected arrivals
+// are skipped (a blocked request holds nothing); the accept rate over
+// the whole run is reported as the "accept%" metric.
+func admissionChurnBench(name string, g *digraph.Digraph, pool []route.Request, liveTarget, budget int, seed int64, opts ...wdm.SessionOption) bench {
+	return bench{name, func(b *testing.B) {
+		b.ReportAllocs()
+		net := &wdm.Network{Topology: g}
+		s, err := net.NewSession(append([]wdm.SessionOption{wdm.WithWavelengthBudget(budget)}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := newChurnDriver(pool, float64(liveTarget), seed)
+		ids := make(map[int]wdm.SessionID, liveTarget)
+		apply := func(op churnOp) {
+			if op.add {
+				id, adm, err := s.TryAdd(op.req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if adm.Accepted {
+					ids[op.seq] = id
+				}
+			} else if id, ok := ids[op.seq]; ok {
+				if err := s.Remove(id); err != nil {
+					b.Fatal(err)
+				}
+				delete(ids, op.seq)
+			}
+		}
+		// Steady state cannot be defined by live count (the budget may cap
+		// it below the target); a fixed warm-up of events settles both the
+		// session and the blocking behaviour.
+		for i := 0; i < liveTarget*2; i++ {
+			apply(d.nextOp())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			apply(d.nextOp())
+		}
+		b.StopTimer()
+		st := s.AdmissionStats()
+		if st.Requests > 0 {
+			b.ReportMetric(100*float64(st.Accepted)/float64(st.Requests), "accept%")
+		}
+		b.ReportMetric(float64(budget), "budget")
+		if err := s.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		if n, err := s.NumLambda(); err != nil || n > budget {
+			b.Fatalf("λ=%d past budget %d (%v)", n, budget, err)
+		}
+	}}
+}
+
+// admissionShardedChurnBench is the sharded-engine counterpart: batched
+// events through ApplyBatchInto (pooled results), per-lane admission
+// outcomes from EngineStats.
+func admissionShardedChurnBench(name string, g *digraph.Digraph, pool []route.Request, liveTarget, batchSize, workers, budget int, seed int64, opts ...wdm.ShardedOption) bench {
+	return bench{name, func(b *testing.B) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(workers))
+		b.ReportAllocs()
+		net := &wdm.Network{Topology: g}
+		eng, err := net.NewShardedEngine(append([]wdm.ShardedOption{
+			wdm.WithShardWorkers(workers), wdm.WithEngineWavelengthBudget(budget),
+		}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		d := newChurnDriver(pool, float64(liveTarget), seed)
+		ids := make(map[int]wdm.ShardedID, liveTarget)
+		ops := make([]wdm.BatchOp, 0, batchSize)
+		seqs := make([]int, 0, batchSize)
+		pending := make(map[int]bool, batchSize)
+		results := make([]wdm.BatchResult, 0, batchSize)
+		flush := func() {
+			if len(ops) == 0 {
+				return
+			}
+			results = eng.ApplyBatchInto(ops, results)
+			for k, res := range results {
+				switch {
+				case res.Err == nil:
+					if ops[k].Kind == wdm.BatchAdd {
+						ids[seqs[k]] = res.ID
+					}
+				case errors.Is(res.Err, wdm.ErrBudgetExceeded):
+					// blocked arrival: holds nothing
+				default:
+					b.Fatal(res.Err)
+				}
+			}
+			ops, seqs = ops[:0], seqs[:0]
+			clear(pending)
+		}
+		stage := func(op churnOp) {
+			if op.add {
+				pending[op.seq] = true
+				ops = append(ops, wdm.AddOp(op.req))
+				seqs = append(seqs, op.seq)
+			} else {
+				if pending[op.seq] {
+					flush()
+				}
+				id, ok := ids[op.seq]
+				if !ok {
+					return // the arrival was blocked; no teardown
+				}
+				ops = append(ops, wdm.RemoveOp(id))
+				seqs = append(seqs, -1)
+				delete(ids, op.seq)
+			}
+			if len(ops) >= batchSize {
+				flush()
+			}
+		}
+		for i := 0; i < liveTarget*2; i++ {
+			stage(d.nextOp())
+		}
+		flush()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stage(d.nextOp())
+		}
+		flush()
+		b.StopTimer()
+		st := eng.Stats()
+		if req := st.Requests(); req > 0 {
+			b.ReportMetric(100*float64(st.Accepted())/float64(req), "accept%")
+		}
+		b.ReportMetric(float64(budget), "budget")
+		if err := eng.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		if n, err := eng.NumLambda(); err != nil || n > budget {
+			b.Fatalf("λ=%d past budget %d (%v)", n, budget, err)
+		}
+	}}
+}
+
+// admissionRejectCostBenches prices a rejection on both admission
+// paths: the Theorem-1 precheck (O(path), touches nothing) against the
+// color-then-rollback probe it replaces on cycle-free topologies (the
+// WithAdmissionRollbackProbe ablation knob). The probe request is
+// chosen to cross a saturated arc, so its conflict neighbourhood is a
+// (w+1)-clique and both paths must reject it every time.
+func admissionRejectCostBenches(label string, g *digraph.Digraph, pool []route.Request, liveTarget, budget int, seed int64) []bench {
+	mk := func(name string, opts ...wdm.SessionOption) bench {
+		return bench{name, func(b *testing.B) {
+			b.ReportAllocs()
+			net := &wdm.Network{Topology: g}
+			s, err := net.NewSession(append([]wdm.SessionOption{wdm.WithWavelengthBudget(budget)}, opts...)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Fill to steady state, then pick a probe whose shortest route
+			// crosses a saturated arc.
+			d := newChurnDriver(pool, float64(liveTarget), seed)
+			for i := 0; i < liveTarget*2; i++ {
+				op := d.nextOp()
+				if op.add {
+					if _, _, err := s.TryAdd(op.req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			probe, found := route.SaturatedRequest(g, s.ArcLoads(), pool, budget)
+			if !found {
+				b.Fatalf("offered load never saturated an arc at budget %d", budget)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, adm, err := s.TryAdd(probe); err != nil {
+					b.Fatal(err)
+				} else if adm.Accepted {
+					b.Fatal("saturated probe was accepted")
+				}
+			}
+		}}
+	}
+	return []bench{
+		mk(fmt.Sprintf("admission/reject-cost/%s/precheck", label)),
+		mk(fmt.Sprintf("admission/reject-cost/%s/rollback", label), wdm.WithAdmissionRollbackProbe()),
+	}
+}
+
+// admissionBenches builds the blocking-probability sweep for one
+// topology: the budget axis w ∈ {π/2, π, 2π} calibrated against the
+// unbudgeted offered load, for the plain session (default reject and
+// retry-alt-route strategies at w=π) plus the reject-cost ablation
+// pair.
+func admissionBenches(label string, g *digraph.Digraph, pool []route.Request, liveTarget int, seed int64) []bench {
+	pi := offeredPi(g, pool, liveTarget, seed)
+	if pi < 2 {
+		pi = 2
+	}
+	var benches []bench
+	for _, bw := range []struct {
+		tag string
+		w   int
+	}{
+		{"pi-half", (pi + 1) / 2},
+		{"pi", pi},
+		{"2pi", 2 * pi},
+	} {
+		benches = append(benches, admissionChurnBench(
+			fmt.Sprintf("admission/churn/%s/w=%s", label, bw.tag),
+			g, pool, liveTarget, bw.w, seed+100))
+	}
+	benches = append(benches, admissionChurnBench(
+		fmt.Sprintf("admission/churn/%s/w=pi/retry-alt-route", label),
+		g, pool, liveTarget, pi, seed+100,
+		wdm.WithAdmissionStrategyName(wdm.AdmissionRetryAltRoute)))
+	benches = append(benches,
+		admissionRejectCostBenches(label, g, pool, liveTarget, (pi+1)/2, seed+200)...)
+	return benches
+}
+
+// admissionShardedBenches builds the engine-side sweep: the same budget
+// axis on a multi-component topology, one entry per worker count.
+func admissionShardedBenches(label string, g *digraph.Digraph, pool []route.Request, liveTarget, batchSize int, cpus []int, budget int, seed int64, opts ...wdm.ShardedOption) []bench {
+	var benches []bench
+	for _, c := range cpus {
+		benches = append(benches, admissionShardedChurnBench(
+			fmt.Sprintf("admission/sharded/%s/w=%d/cpus=%d", label, budget, c),
+			g, pool, liveTarget, batchSize, c, budget, seed, opts...))
+	}
+	return benches
+}

@@ -185,12 +185,14 @@ func shardedChurnBench(name string, g *digraph.Digraph, pool []route.Request, li
 		ops := make([]wdm.BatchOp, 0, batchSize)
 		seqs := make([]int, 0, batchSize)
 		pending := make(map[int]bool, batchSize)
-		staged := 0 // net live-count delta of the staged ops
+		results := make([]wdm.BatchResult, 0, batchSize) // pooled across batches
+		staged := 0                                      // net live-count delta of the staged ops
 		flush := func() {
 			if len(ops) == 0 {
 				return
 			}
-			for k, res := range eng.ApplyBatch(ops) {
+			results = eng.ApplyBatchInto(ops, results)
+			for k, res := range results {
 				if res.Err != nil {
 					b.Fatal(res.Err)
 				}

@@ -32,13 +32,17 @@ import (
 	"wavedag/internal/wdm"
 )
 
-// Entry is one benchmark measurement of the snapshot.
+// Entry is one benchmark measurement of the snapshot. Extra carries
+// custom metrics reported via b.ReportMetric (the admission workloads
+// record "accept%" and the actual "budget" there); entries without any
+// omit the field, so older snapshots diff cleanly.
 type Entry struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -73,6 +77,12 @@ func main() {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			e.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				e.Extra[k] = v
+			}
 		}
 		entries = append(entries, e)
 		fmt.Fprintf(os.Stderr, "%-40s %12.0f ns/op %10d B/op %8d allocs/op\n",
@@ -309,6 +319,29 @@ func suite(large bool, cpus, subshards []int) []bench {
 		// union, so partVerts stays valid on the combined topology.
 		g, _ := gen.DisjointUnion(gen.Instance{G: glued}, gen.Instance{G: sat})
 		return g, partVerts
+	}
+
+	// Admission churn (small): the blocking-probability workload — a
+	// hotspot-concentrated overload trace against a budget sweep
+	// calibrated to the offered load (w ∈ {π/2, π, 2π}), plus the
+	// reject-cost ablation (Theorem-1 precheck vs color-and-rollback).
+	{
+		topo, err := gen.RandomNoInternalCycleDAG(40, 6, 6, 0.2, 12)
+		if err != nil {
+			fatal(err)
+		}
+		pool := requestPool(gen.HotspotRequestPool(topo, 10, 0.7, 4000, 17))
+		benches = append(benches, admissionBenches("n=40-paths=200", topo, pool, 200, 19)...)
+	}
+
+	// Admission sharded churn (small): the budgeted engine on the
+	// 4-component topology, batched events, one entry per worker count.
+	{
+		g := multiShard(4, 40, 21)
+		pool := requestPool(gen.HotspotRequestPool(g, 16, 0.7, 4000, 27))
+		pi := offeredPi(g, pool, 400, 29)
+		benches = append(benches, admissionShardedBenches(
+			"C=4-n=160-paths=400", g, pool, 400, 64, cpus, pi, 29)...)
 	}
 
 	// Sharded churn (small): 4-component topology, batched events, one

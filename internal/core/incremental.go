@@ -431,6 +431,13 @@ func (ic *Incremental) fullRecolor() {
 		ic.armCeiling(lb)
 		return
 	}
+	ic.coldRecolor()
+}
+
+// coldRecolor is the from-scratch tail of fullRecolor: run the
+// strongest applicable theorem over the live family and rebuild the
+// incremental bookkeeping from its answer.
+func (ic *Incremental) coldRecolor() {
 	ic.warmSinceCold = 0
 	slots := ic.dyn.LiveSlots()
 	fam := make(dipath.Family, len(slots))
@@ -465,6 +472,66 @@ func (ic *Incremental) fullRecolor() {
 	} else {
 		ic.futileNum = 0
 	}
+}
+
+// EnsureAtMost tries to bring the live assignment to at most limit
+// wavelengths: the warm class-seeded repack first (O(Σ degree)), the
+// from-scratch pipeline when the repack is not enough. It returns the
+// resulting count, which still exceeds limit exactly when even the
+// strongest applicable theorem needs more colors. On internal-cycle-
+// free graphs the cold pipeline achieves λ = π (Theorem 1), so the call
+// is guaranteed to succeed whenever π ≤ limit — the invariant the
+// budgeted session's Theorem-1 admission precheck maintains.
+func (ic *Incremental) EnsureAtMost(limit int) int {
+	if ic.numUsed <= limit {
+		return ic.numUsed
+	}
+	ic.warmRecolor()
+	if ic.numUsed <= limit {
+		ic.warmRecolors++
+		return ic.numUsed
+	}
+	ic.coldRecolor()
+	return ic.numUsed
+}
+
+// AddUnderLimit inserts p only when it can take a wavelength below
+// limit: first-fit against the live neighbourhood, then — when the
+// palette is fragmented — one warm class-seeded repack and a retry.
+// On rejection the conflict insertion is rolled back, so no dipath is
+// admitted: the live family is exactly as before (the repack may have
+// permuted colors, but never onto more wavelengths). This is the
+// general-DAG budget admission probe: unlike the Theorem-1 load test it
+// costs up to O(Σ degree), but it never disturbs the λ ≤ limit
+// invariant of the paths already admitted. limit <= 0 means unlimited
+// and behaves like Add.
+func (ic *Incremental) AddUnderLimit(p *dipath.Path, limit int) (slot int, ok bool, err error) {
+	if limit <= 0 {
+		s, err := ic.Add(p)
+		return s, err == nil, err
+	}
+	s, err := ic.dyn.AddPath(p)
+	if err != nil {
+		return -1, false, err
+	}
+	ic.ensureSlot(s)
+	c := ic.firstFit(s, limit)
+	if c < 0 && ic.numUsed > 0 {
+		// All limit colors are blocked by neighbours; a repack of the live
+		// assignment (s is still uncolored, so it does not participate) may
+		// compact the palette enough to free one.
+		ic.warmRecolor()
+		c = ic.firstFit(s, limit)
+	}
+	if c < 0 {
+		if err := ic.dyn.RemovePath(s); err != nil {
+			return -1, false, err
+		}
+		return -1, false, nil
+	}
+	ic.setColor(s, c)
+	ic.maybeFullRecolor()
+	return s, true, nil
 }
 
 // armCeiling records the current (proper, hence χ-certifying) count as

@@ -273,3 +273,92 @@ func TestIncrementalTheorem6Recolor(t *testing.T) {
 		t.Log("churn never left the slack gate (no Theorem 6 recolor exercised)")
 	}
 }
+
+// TestIncrementalAddUnderLimit drives the budget admission probe
+// through random offers at a tight limit: every accepted path must be
+// colored below the limit, every rejection must leave the live family —
+// and the λ ≤ limit invariant — exactly as before, and the invariants
+// of the colorer must hold throughout.
+func TestIncrementalAddUnderLimit(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(20, 4, 4, 0.3, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := gen.RandomWalkFamily(g, 80, 7, 62)
+	rng := rand.New(rand.NewSource(63))
+	for _, limit := range []int{1, 2, 4} {
+		ic := NewIncremental(g, 2)
+		var live []int
+		accepted, rejected := 0, 0
+		for op := 0; op < 400; op++ {
+			if len(live) == 0 || rng.Intn(3) != 0 {
+				p := pool[rng.Intn(len(pool))]
+				before := ic.Dynamic().NumLive()
+				s, ok, err := ic.AddUnderLimit(p, limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					if c := ic.Wavelength(s); c < 0 || c >= limit {
+						t.Fatalf("limit %d: accepted path colored %d", limit, c)
+					}
+					live = append(live, s)
+					accepted++
+				} else {
+					if ic.Dynamic().NumLive() != before {
+						t.Fatalf("limit %d: rejection changed the live count", limit)
+					}
+					rejected++
+				}
+				if ic.NumLambda() > limit {
+					t.Fatalf("limit %d: λ = %d after probe", limit, ic.NumLambda())
+				}
+			} else {
+				i := rng.Intn(len(live))
+				if err := ic.Remove(live[i]); err != nil {
+					t.Fatal(err)
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				// Removal repair may recolor; re-enforce the budget the way
+				// the budgeted session does.
+				if ic.EnsureAtMost(limit) > limit {
+					t.Fatalf("limit %d: EnsureAtMost failed on a Theorem-1 topology", limit)
+				}
+			}
+			checkIncrementalInvariants(t, op, ic)
+		}
+		if accepted == 0 || rejected == 0 {
+			t.Fatalf("limit %d: degenerate run (accepted %d, rejected %d)", limit, accepted, rejected)
+		}
+	}
+}
+
+// TestIncrementalEnsureAtMost checks that a drifted assignment is
+// brought back under a limit the cold pipeline can certify: on a
+// Theorem-1 topology EnsureAtMost(π) must always succeed, and a limit
+// below π must fail while leaving the assignment proper.
+func TestIncrementalEnsureAtMost(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(18, 3, 3, 0.3, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := gen.RandomWalkFamily(g, 60, 7, 72)
+	ic := NewIncremental(g, 8) // generous slack: let first-fit drift
+	for _, p := range pool {
+		if _, err := ic.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pi := ic.LowerBound()
+	if got := ic.EnsureAtMost(pi); got != pi {
+		t.Fatalf("EnsureAtMost(π=%d) = %d on a Theorem-1 topology", pi, got)
+	}
+	checkIncrementalInvariants(t, -1, ic)
+	if pi > 1 {
+		if got := ic.EnsureAtMost(pi - 1); got <= pi-1 {
+			t.Fatalf("EnsureAtMost(π-1) = %d, below the load lower bound %d", got, pi)
+		}
+		checkIncrementalInvariants(t, -2, ic)
+	}
+}

@@ -10,6 +10,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"wavedag/internal/dag"
 	"wavedag/internal/digraph"
@@ -338,6 +339,88 @@ func LocalityRequestPool(g *digraph.Digraph, groups [][]digraph.Vertex, frac flo
 		pick := local
 		if len(local) == 0 || (rng.Float64() >= frac && len(cross) > 0) {
 			pick = cross
+		}
+		pool = append(pool, pick[rng.Intn(len(pick))])
+	}
+	return pool
+}
+
+// HotspotRequestPool draws a pool of routable (src, dst) pairs whose
+// traffic concentrates on a few hot endpoints: about hotFrac of the
+// entries have both endpoints in the hot set — the hotCount vertices
+// with the largest combined reach (vertices reachable from them plus
+// vertices that reach them), i.e. the ones whose pairs funnel through
+// the topology's spine — and the rest are drawn uniformly from all
+// routable pairs. Replaying such a pool against a finite wavelength
+// budget drives the hot arcs past any budget long before the cold ones:
+// the overload regime the admission-control benchmarks sweep. If too
+// few hot pairs are routable the uniform class fills the pool; a graph
+// with no routable pairs yields an empty pool.
+func HotspotRequestPool(g *digraph.Digraph, hotCount int, hotFrac float64, size int, seed int64) [][2]digraph.Vertex {
+	n := g.NumVertices()
+	outReach := make([]int, n)
+	inReach := make([]int, n)
+	var all [][2]digraph.Vertex
+	seen := make([]bool, n)
+	queue := make([]digraph.Vertex, 0, n)
+	for u := 0; u < n; u++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		src := digraph.Vertex(u)
+		seen[src] = true
+		queue = append(queue[:0], src)
+		for head := 0; head < len(queue); head++ {
+			for _, a := range g.OutArcs(queue[head]) {
+				if h := g.Arc(a).Head; !seen[h] {
+					seen[h] = true
+					queue = append(queue, h)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v == u || !seen[v] {
+				continue
+			}
+			outReach[u]++
+			inReach[v]++
+			all = append(all, [2]digraph.Vertex{src, digraph.Vertex(v)})
+		}
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	// Hot set: top hotCount vertices by combined reach.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := outReach[order[a]]+inReach[order[a]], outReach[order[b]]+inReach[order[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return order[a] < order[b]
+	})
+	if hotCount > n {
+		hotCount = n
+	}
+	hotSet := make([]bool, n)
+	for _, v := range order[:hotCount] {
+		hotSet[v] = true
+	}
+	var hot [][2]digraph.Vertex
+	for _, pair := range all {
+		if hotSet[pair[0]] && hotSet[pair[1]] {
+			hot = append(hot, pair)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([][2]digraph.Vertex, 0, size)
+	for i := 0; i < size; i++ {
+		pick := all
+		if len(hot) > 0 && rng.Float64() < hotFrac {
+			pick = hot
 		}
 		pool = append(pool, pick[rng.Intn(len(pick))])
 	}

@@ -423,3 +423,73 @@ func TestLocalityRequestPoolEmpty(t *testing.T) {
 		t.Fatalf("pool over an arcless graph has %d entries", len(pool))
 	}
 }
+
+// TestHotspotRequestPool checks the overload generator: all entries are
+// routable, roughly hotFrac of them live inside the hot set, and the
+// hot set's pairs do concentrate load on a few arcs relative to the
+// uniform pool.
+func TestHotspotRequestPool(t *testing.T) {
+	g, err := RandomNoInternalCycleDAG(40, 6, 6, 0.2, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 2000
+	pool := HotspotRequestPool(g, 6, 0.8, size, 82)
+	if len(pool) != size {
+		t.Fatalf("pool has %d entries, want %d", len(pool), size)
+	}
+	// Every pair must be routable.
+	reach := func(src, dst digraph.Vertex) bool {
+		seen := make([]bool, g.NumVertices())
+		queue := []digraph.Vertex{src}
+		seen[src] = true
+		for head := 0; head < len(queue); head++ {
+			if queue[head] == dst {
+				return true
+			}
+			for _, a := range g.OutArcs(queue[head]) {
+				if h := g.Arc(a).Head; !seen[h] {
+					seen[h] = true
+					queue = append(queue, h)
+				}
+			}
+		}
+		return false
+	}
+	for i, p := range pool {
+		if p[0] == p[1] || !reach(p[0], p[1]) {
+			t.Fatalf("entry %d: pair %v not routable", i, p)
+		}
+	}
+	// Concentration: the most frequent (src, dst) pair must appear far
+	// more often than under the uniform pool (hot pairs are drawn from a
+	// tiny candidate set).
+	count := make(map[[2]digraph.Vertex]int)
+	for _, p := range pool {
+		count[p]++
+	}
+	maxHot := 0
+	for _, c := range count {
+		if c > maxHot {
+			maxHot = c
+		}
+	}
+	uniform := HotspotRequestPool(g, 6, 0, size, 83)
+	countU := make(map[[2]digraph.Vertex]int)
+	for _, p := range uniform {
+		countU[p]++
+	}
+	maxU := 0
+	for _, c := range countU {
+		if c > maxU {
+			maxU = c
+		}
+	}
+	if maxHot < 2*maxU {
+		t.Fatalf("hot pool does not concentrate: max pair count %d (hot) vs %d (uniform)", maxHot, maxU)
+	}
+	// Degenerate graphs yield an empty pool, not a panic.
+	if p := HotspotRequestPool(digraph.New(5), 3, 0.8, 10, 84); len(p) != 0 {
+		t.Fatalf("pool over an arcless graph has %d entries", len(p))
+	}
+}

@@ -1,0 +1,127 @@
+package groom
+
+import (
+	"fmt"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+	"wavedag/internal/wdm"
+)
+
+// Online is the online counterpart of the static maximum-request
+// problem: dipaths are offered one at a time against a wavelength
+// budget w, and each is irrevocably accepted or rejected by a budgeted
+// wdm.Session — on an internal-cycle-free DAG that is the O(path)
+// Theorem-1 admission test, so the online selection runs in O(total
+// path length) where the static Exact search is exponential. The
+// accepted set is always Feasible at w (the static oracle the
+// randomized tests pin it to), and the session behind it carries a full
+// provisioning — wavelengths included — not just a selection.
+//
+// Greedy and Exact remain the offline baselines: Online never beats
+// Exact and, being arrival-ordered, may fall short of Greedy's
+// shortest-first ordering; the gap is the price of online admission.
+type Online struct {
+	sess     *wdm.Session
+	budget   int
+	offers   int
+	accepted []int           // offer indices, ascending
+	ids      []wdm.SessionID // parallel to accepted
+}
+
+// NewOnline opens an online max-request run at wavelength budget w on
+// g. Extra session options (admission strategy, slack, capacity hints)
+// pass through to the underlying budgeted session; the budget itself is
+// fixed by w and must be positive (an unlimited budget has no
+// max-request problem to solve).
+func NewOnline(g *digraph.Digraph, w int, opts ...wdm.SessionOption) (*Online, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("groom: online selection needs a budget >= 1, got %d", w)
+	}
+	net := &wdm.Network{Topology: g}
+	sess, err := net.NewSession(append(opts[:len(opts):len(opts)], wdm.WithWavelengthBudget(w))...)
+	if err != nil {
+		return nil, err
+	}
+	return &Online{sess: sess, budget: w}, nil
+}
+
+// Offer presents the next dipath; it reports whether the session
+// admitted it. Rejections leave all prior acceptances (and their
+// wavelengths) untouched. The max-request problem selects among the
+// offered dipaths themselves, so an admission strategy that would
+// provision a *different* route (retry-alt-route) does not count as
+// acceptance here: the substituted path is torn back down and the offer
+// reports rejected — the Feasible-at-w oracle always holds for the
+// accepted offers as given.
+func (o *Online) Offer(p *dipath.Path) (bool, error) {
+	idx := o.offers
+	id, adm, err := o.sess.TryAddPath(p)
+	if err != nil {
+		return false, err
+	}
+	o.offers++
+	if !adm.Accepted {
+		return false, nil
+	}
+	if got, perr := o.sess.Path(id); perr != nil || !got.Equal(p) {
+		if perr != nil {
+			return false, perr
+		}
+		if rerr := o.sess.Remove(id); rerr != nil {
+			return false, rerr
+		}
+		return false, nil
+	}
+	o.accepted = append(o.accepted, idx)
+	o.ids = append(o.ids, id)
+	return true, nil
+}
+
+// OfferFamily offers every dipath of fam in order and returns the
+// accepted indices (ascending — offer order is index order).
+func (o *Online) OfferFamily(fam dipath.Family) ([]int, error) {
+	for _, p := range fam {
+		if _, err := o.Offer(p); err != nil {
+			return nil, err
+		}
+	}
+	return o.Accepted(), nil
+}
+
+// Accepted returns the accepted offer indices in ascending order.
+func (o *Online) Accepted() []int {
+	return append([]int(nil), o.accepted...)
+}
+
+// SessionIDs returns the session ids of the accepted offers, parallel
+// to Accepted — the handle for tearing accepted requests back down
+// (Session().Remove) when the selection churns.
+func (o *Online) SessionIDs() []wdm.SessionID {
+	return append([]wdm.SessionID(nil), o.ids...)
+}
+
+// Offers returns how many dipaths have been offered so far.
+func (o *Online) Offers() int { return o.offers }
+
+// Len returns how many offers were accepted.
+func (o *Online) Len() int { return len(o.accepted) }
+
+// Budget returns the wavelength budget.
+func (o *Online) Budget() int { return o.budget }
+
+// Session exposes the budgeted session carrying the accepted set —
+// its Provisioning holds the accepted dipaths with their wavelengths,
+// in acceptance order.
+func (o *Online) Session() *wdm.Session { return o.sess }
+
+// OnlineMax runs the whole family through a fresh online selection at
+// budget w and returns the accepted indices — the one-shot form the
+// cross-check tests drive against Greedy and Exact.
+func OnlineMax(g *digraph.Digraph, fam dipath.Family, w int) ([]int, error) {
+	o, err := NewOnline(g, w)
+	if err != nil {
+		return nil, err
+	}
+	return o.OfferFamily(fam)
+}

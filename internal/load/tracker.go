@@ -92,6 +92,24 @@ func (t *Tracker) RemoveArc(a digraph.ArcID) {
 // Load returns the current load of arc a.
 func (t *Tracker) Load(a digraph.ArcID) int { return t.loads[a] }
 
+// FitsAdditional reports whether adding p would keep every arc it
+// traverses at load at most w — the Theorem-1 admission test: on an
+// internal-cycle-free DAG a family fits in w wavelengths exactly when
+// its load is at most w, so a session that kept π ≤ w so far can decide
+// a new request in O(len(path)) without touching any state. w <= 0
+// always fits (no budget).
+func (t *Tracker) FitsAdditional(p *dipath.Path, w int) bool {
+	if w <= 0 {
+		return true
+	}
+	for _, a := range p.Arcs() {
+		if t.loads[a]+1 > w {
+			return false
+		}
+	}
+	return true
+}
+
 // NumPaths returns the number of dipaths currently tracked.
 func (t *Tracker) NumPaths() int { return t.total }
 

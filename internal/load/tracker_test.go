@@ -102,6 +102,55 @@ func TestTrackerMaxAmongMatchesMaxLoadedArcAmong(t *testing.T) {
 	}
 }
 
+// TestTrackerFitsAdditional pins the Theorem-1 admission probe to the
+// mutating ground truth: FitsAdditional(p, w) must agree with "Add(p),
+// check π ≤ w, Remove(p)" whenever the pre-add load already fits the
+// budget, and it must never mutate the tracker.
+func TestTrackerFitsAdditional(t *testing.T) {
+	g, err := gen.RandomNoInternalCycleDAG(15, 3, 3, 0.3, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := gen.RandomWalkFamily(g, 60, 6, 52)
+	rng := rand.New(rand.NewSource(53))
+	for _, w := range []int{1, 2, 3, 5} {
+		tr := NewTracker(g)
+		var live dipath.Family
+		for step := 0; step < 150; step++ {
+			p := fam[rng.Intn(len(fam))]
+			before := tr.Loads()
+			fits := tr.FitsAdditional(p, w)
+			for a, l := range tr.Loads() {
+				if l != before[a] {
+					t.Fatalf("w=%d step %d: FitsAdditional mutated arc %d", w, step, a)
+				}
+			}
+			tr.Add(p)
+			if fits != (tr.Pi() <= w) {
+				t.Fatalf("w=%d step %d: FitsAdditional=%v but post-add π=%d", w, step, fits, tr.Pi())
+			}
+			if !fits {
+				tr.Remove(p) // keep the π ≤ w invariant the probe assumes
+			} else {
+				live = append(live, p)
+			}
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				tr.Remove(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+	}
+	// No budget always fits.
+	tr := NewTrackerFromFamily(g, fam)
+	for _, p := range fam {
+		if !tr.FitsAdditional(p, 0) {
+			t.Fatal("w=0 (unlimited) rejected a path")
+		}
+	}
+}
+
 func TestTrackerRemoveUntrackedPanics(t *testing.T) {
 	g, err := gen.RandomNoInternalCycleDAG(10, 2, 2, 0.3, 41)
 	if err != nil {

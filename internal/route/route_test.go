@@ -225,3 +225,26 @@ func TestAllToAll(t *testing.T) {
 		}
 	}
 }
+
+// TestSaturatedRequest pins the admission-benchmark probe finder: it
+// returns a request whose shortest route crosses an arc at load >= w,
+// and reports not-found when no pool entry does.
+func TestSaturatedRequest(t *testing.T) {
+	g := digraph.New(4)
+	g.MustAddArc(0, 1)         // arc 0
+	g.MustAddArc(1, 3)         // arc 1
+	g.MustAddArc(0, 2)         // arc 2
+	g.MustAddArc(2, 3)         // arc 3
+	loads := []int{2, 2, 0, 0} // the 0->1->3 branch carries load 2
+	pool := []Request{{Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 2, Dst: 3}}
+	req, ok := SaturatedRequest(g, loads, pool, 2)
+	if !ok || req != (Request{Src: 0, Dst: 3}) {
+		t.Fatalf("probe = %+v ok=%v, want the 0->3 request (BFS routes it over the loaded branch)", req, ok)
+	}
+	if _, ok := SaturatedRequest(g, loads, pool, 3); ok {
+		t.Fatal("found a probe at w=3 with max load 2")
+	}
+	if _, ok := SaturatedRequest(g, []int{0, 0, 0, 0}, pool, 1); ok {
+		t.Fatal("found a probe on an unloaded graph")
+	}
+}

@@ -378,3 +378,25 @@ func (r *Router) AllToAll() []Request {
 	}
 	return reqs
 }
+
+// SaturatedRequest returns the first request of pool whose shortest
+// route crosses an arc carrying loads[a] >= w — the probe the admission
+// reject-cost benchmarks re-offer: together with the w paths on that
+// arc it forms a (w+1)-clique in the conflict graph, so every admission
+// path must keep rejecting it. ok is false when the offered load never
+// saturated an arc of a routable pool entry.
+func SaturatedRequest(g *digraph.Digraph, loads []int, pool []Request, w int) (Request, bool) {
+	r := NewRouter(g)
+	for _, req := range pool {
+		p, err := r.ShortestPath(req.Src, req.Dst)
+		if err != nil {
+			continue
+		}
+		for _, a := range p.Arcs() {
+			if loads[a] >= w {
+				return req, true
+			}
+		}
+	}
+	return Request{}, false
+}

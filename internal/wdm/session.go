@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"wavedag/internal/core"
+	"wavedag/internal/cycles"
 	"wavedag/internal/digraph"
 	"wavedag/internal/dipath"
 	"wavedag/internal/load"
@@ -48,17 +49,29 @@ type Session struct {
 	routingName  string
 	coloringName string
 
+	// Budgeted admission (see WithWavelengthBudget). cycleFree gates the
+	// Theorem-1 precheck; rollbackProbe is the ablation knob forcing the
+	// general-DAG color-then-rollback path.
+	budget         int
+	cycleFree      bool
+	rollbackProbe  bool
+	admission      AdmissionState
+	admissionName  string
+	stats          AdmissionStats
+	bestEffortLive int
+
 	entries []sessionEntry
 	freeIdx []int32
 	live    int
 }
 
 type sessionEntry struct {
-	gen   uint32
-	alive bool
-	slot  int
-	req   route.Request
-	path  *dipath.Path
+	gen        uint32
+	alive      bool
+	bestEffort bool // admitted past the budget by the degrade strategy
+	slot       int
+	req        route.Request
+	path       *dipath.Path
 }
 
 func packID(idx int32, gen uint32) SessionID {
@@ -81,10 +94,13 @@ func (s *Session) lookup(id SessionID) (*sessionEntry, error) {
 
 // sessionConfig collects NewSession options.
 type sessionConfig struct {
-	routing  RoutingStrategy
-	coloring ColoringStrategy
-	slack    int
-	capacity int
+	routing       RoutingStrategy
+	coloring      ColoringStrategy
+	admission     AdmissionStrategy
+	slack         int
+	capacity      int
+	budget        int
+	rollbackProbe bool
 }
 
 // SessionOption configures NewSession.
@@ -160,6 +176,61 @@ func WithCapacityHint(n int) SessionOption {
 	}
 }
 
+// WithWavelengthBudget caps the session at w wavelengths: every Add and
+// TryAdd runs budget admission before any state mutates — the O(path)
+// Theorem-1 load precheck on internal-cycle-free topologies (a family
+// fits in w wavelengths there exactly when its load is at most w), a
+// color-then-rollback probe on general DAGs — and over-budget requests
+// are handed to the session's admission strategy (default: reject).
+// w <= 0 means unlimited, the default.
+func WithWavelengthBudget(w int) SessionOption {
+	return func(c *sessionConfig) error {
+		if w < 0 {
+			return fmt.Errorf("wdm: wavelength budget must be >= 0, got %d", w)
+		}
+		c.budget = w
+		return nil
+	}
+}
+
+// WithAdmissionStrategy selects how a budgeted session handles requests
+// that fail the budget check (default: the "reject" strategy).
+func WithAdmissionStrategy(s AdmissionStrategy) SessionOption {
+	return func(c *sessionConfig) error {
+		if s == nil {
+			return fmt.Errorf("wdm: nil admission strategy")
+		}
+		c.admission = s
+		return nil
+	}
+}
+
+// WithAdmissionStrategyName selects a registered admission strategy
+// (AdmissionReject, AdmissionRetryAltRoute or AdmissionDegrade for the
+// built-ins).
+func WithAdmissionStrategyName(name string) SessionOption {
+	return func(c *sessionConfig) error {
+		s, ok := LookupAdmissionStrategy(name)
+		if !ok {
+			return fmt.Errorf("wdm: unknown admission strategy %q", name)
+		}
+		c.admission = s
+		return nil
+	}
+}
+
+// WithAdmissionRollbackProbe forces the general-DAG color-then-rollback
+// admission probe even on internal-cycle-free topologies. It exists as
+// the ablation axis of the admission benchmarks (pricing the Theorem-1
+// precheck against the fallback it replaces); production sessions have
+// no reason to set it.
+func WithAdmissionRollbackProbe() SessionOption {
+	return func(c *sessionConfig) error {
+		c.rollbackProbe = true
+		return nil
+	}
+}
+
 // NewSession opens a dynamic provisioning session on the network. The
 // defaults are shortest-path routing and incremental coloring.
 func (n *Network) NewSession(opts ...SessionOption) (*Session, error) {
@@ -182,6 +253,13 @@ func (n *Network) NewSession(opts ...SessionOption) (*Session, error) {
 		}
 		cfg.coloring = s
 	}
+	if cfg.budget > 0 && cfg.admission == nil {
+		a, ok := LookupAdmissionStrategy(AdmissionReject)
+		if !ok {
+			return nil, fmt.Errorf("wdm: reject admission strategy not registered")
+		}
+		cfg.admission = a
+	}
 	routing, err := cfg.routing.NewState(n.Topology)
 	if err != nil {
 		return nil, fmt.Errorf("wdm: routing setup: %w", err)
@@ -190,15 +268,31 @@ func (n *Network) NewSession(opts ...SessionOption) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wdm: coloring setup: %w", err)
 	}
-	return &Session{
-		net:          n,
-		routing:      routing,
-		coloring:     coloring,
-		tracker:      load.NewTracker(n.Topology),
-		routingName:  cfg.routing.Name(),
-		coloringName: cfg.coloring.Name(),
-		entries:      make([]sessionEntry, 0, cfg.capacity),
-	}, nil
+	s := &Session{
+		net:           n,
+		routing:       routing,
+		coloring:      coloring,
+		tracker:       load.NewTracker(n.Topology),
+		routingName:   cfg.routing.Name(),
+		coloringName:  cfg.coloring.Name(),
+		budget:        cfg.budget,
+		rollbackProbe: cfg.rollbackProbe,
+		entries:       make([]sessionEntry, 0, cfg.capacity),
+	}
+	if cfg.admission != nil {
+		s.admission, err = cfg.admission.NewState(n.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("wdm: admission setup: %w", err)
+		}
+		s.admissionName = cfg.admission.Name()
+	}
+	if cfg.budget > 0 {
+		// The Theorem-1 precheck is sound exactly when the topology has no
+		// internal cycle; one O(V+A) scan at construction decides which
+		// admission path every later offer takes.
+		s.cycleFree = !cycles.HasInternalCycle(n.Topology)
+	}
+	return s, nil
 }
 
 // RoutingStrategyName returns the name of the session's routing
@@ -209,28 +303,191 @@ func (s *Session) RoutingStrategyName() string { return s.routingName }
 // strategy.
 func (s *Session) ColoringStrategyName() string { return s.coloringName }
 
+// AdmissionStrategyName returns the name of the session's admission
+// strategy, or "" when the session has none configured.
+func (s *Session) AdmissionStrategyName() string { return s.admissionName }
+
+// Budget returns the session's wavelength budget (0 = unlimited).
+func (s *Session) Budget() int { return s.budget }
+
+// AdmissionStats returns the session's cumulative admission counters.
+// Unbudgeted sessions count every offer as accepted, so the engine's
+// per-lane traffic shares work with or without a budget.
+func (s *Session) AdmissionStats() AdmissionStats { return s.stats }
+
+// BestEffortLive returns how many live requests were admitted past the
+// budget by the degrade strategy. While it is non-zero the session's
+// λ ≤ budget invariant is suspended.
+func (s *Session) BestEffortLive() int { return s.bestEffortLive }
+
+// IsBestEffort reports whether the live request id was admitted past
+// the budget.
+func (s *Session) IsBestEffort(id SessionID) (bool, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return false, err
+	}
+	return e.bestEffort, nil
+}
+
 // Len returns the number of live requests.
 func (s *Session) Len() int { return s.live }
 
 // Pi returns the current load π of the live routing.
 func (s *Session) Pi() int { return s.tracker.Pi() }
 
+// ArcLoads returns a copy of the session's per-arc load vector — the
+// observability twin of ShardedEngine.ArcLoads (budget experiments read
+// it to find saturated arcs).
+func (s *Session) ArcLoads() []int { return s.tracker.Loads() }
+
 // NumLambda returns the number of wavelengths currently in use. With
 // the incremental strategy this is O(1); with the full strategy it
 // recomputes from scratch.
 func (s *Session) NumLambda() (int, error) { return s.coloring.NumLambda() }
 
-// Add routes req, inserts it into the conflict and load state, assigns
-// a wavelength, and returns its id.
+// Add routes req, runs budget admission when one is configured,
+// inserts the request into the conflict and load state, assigns a
+// wavelength, and returns its id. On a budgeted session a rejection is
+// an error wrapping ErrBudgetExceeded; TryAdd reports the same outcome
+// without the error detour.
 func (s *Session) Add(req route.Request) (SessionID, error) {
+	id, adm, err := s.TryAdd(req)
+	if err != nil {
+		return 0, err
+	}
+	if !adm.Accepted {
+		return 0, fmt.Errorf("wdm: admission: %w (budget %d)", ErrBudgetExceeded, s.budget)
+	}
+	return id, nil
+}
+
+// TryAdd routes req and runs it through budget admission: accepted
+// requests are provisioned and their id returned; rejected requests
+// leave the session untouched and report Accepted=false without an
+// error (errors are reserved for genuine failures — no route, invalid
+// paths). Unbudgeted sessions accept everything.
+func (s *Session) TryAdd(req route.Request) (SessionID, Admission, error) {
 	p, err := s.routing.Route(req, s.tracker)
 	if err != nil {
-		return 0, fmt.Errorf("wdm: routing: %w", err)
+		return 0, Admission{}, fmt.Errorf("wdm: routing: %w", err)
 	}
+	return s.tryAdmit(req, p)
+}
+
+// TryAddPath runs admission and insertion for a pre-routed dipath,
+// bypassing the routing strategy — the "requests already routed" regime
+// groom.Online drives. The entry's request takes p's endpoints, so a
+// later Reroute re-routes it through the session's strategy.
+func (s *Session) TryAddPath(p *dipath.Path) (SessionID, Admission, error) {
+	if p == nil {
+		return 0, Admission{}, fmt.Errorf("wdm: nil dipath")
+	}
+	// Validate up front: the admission precheck indexes the tracker by
+	// p's arcs before any layer that would catch a foreign path.
+	if err := p.Validate(s.net.Topology); err != nil {
+		return 0, Admission{}, err
+	}
+	return s.tryAdmit(route.Request{Src: p.First(), Dst: p.Last()}, p)
+}
+
+// tryAdmit is the admission funnel shared by TryAdd and TryAddPath:
+// budget check, then the admission strategy for over-budget offers,
+// with the outcome counters maintained on every exit.
+func (s *Session) tryAdmit(req route.Request, p *dipath.Path) (SessionID, Admission, error) {
+	s.stats.Requests++
+	id, ok, err := s.admitCommit(req, p)
+	if err != nil {
+		return 0, Admission{}, err
+	}
+	if ok {
+		s.stats.Accepted++
+		return id, Admission{Accepted: true}, nil
+	}
+	id, adm, err := s.admission.Admit(&AdmissionContext{s: s, req: req, path: p})
+	if err != nil {
+		return 0, Admission{}, err
+	}
+	if adm.Accepted {
+		s.stats.Accepted++
+		if adm.BestEffort {
+			s.stats.BestEffort++
+		}
+		if adm.Retried {
+			s.stats.Retried++
+		}
+	} else {
+		s.stats.Rejected++
+	}
+	return id, adm, nil
+}
+
+// admitCommit runs the budget check for p and inserts it when admitted.
+// Cycle-free topologies use the Theorem-1 precheck — O(len(p)) against
+// the live tracker, nothing touched on rejection; general DAGs (or
+// sessions forcing the ablation probe) color-then-rollback through the
+// coloring layer, reusing the same restore discipline as Reroute's
+// failure path.
+func (s *Session) admitCommit(req route.Request, p *dipath.Path) (SessionID, bool, error) {
+	if s.budget <= 0 {
+		id, err := s.commitPath(req, p, false)
+		return id, err == nil, err
+	}
+	if s.cycleFree && !s.rollbackProbe {
+		if !s.tracker.FitsAdditional(p, s.budget) {
+			return 0, false, nil
+		}
+		id, err := s.commitPath(req, p, false)
+		if err != nil {
+			return 0, false, err
+		}
+		s.enforceBudgetLambda()
+		return id, true, nil
+	}
+	slot, ok, err := s.colorUnderBudget(p)
+	if err != nil {
+		return 0, false, fmt.Errorf("wdm: coloring: %w", err)
+	}
+	if !ok {
+		return 0, false, nil
+	}
+	return s.insertEntry(req, p, slot, false), true, nil
+}
+
+// colorUnderBudget is the color-then-rollback admission probe: insert p
+// into the coloring layer only if the live assignment stays within the
+// budget. States implementing BudgetedColoringState do it natively
+// (exact rollback, one repack retry); any other state gets the generic
+// add-measure-rollback.
+func (s *Session) colorUnderBudget(p *dipath.Path) (int, bool, error) {
+	if bs, ok := s.coloring.(BudgetedColoringState); ok {
+		return bs.AddUnderLimit(p, s.budget)
+	}
+	slot, err := s.coloring.Add(p)
+	if err != nil {
+		return -1, false, err
+	}
+	n, err := s.coloring.NumLambda()
+	if err == nil && n <= s.budget {
+		return slot, true, nil
+	}
+	if rerr := s.coloring.Remove(slot); rerr != nil && err == nil {
+		err = rerr
+	}
+	return -1, false, err
+}
+
+// commitPath inserts a routed-and-admitted path: coloring, load, entry.
+func (s *Session) commitPath(req route.Request, p *dipath.Path, bestEffort bool) (SessionID, error) {
 	slot, err := s.coloring.Add(p)
 	if err != nil {
 		return 0, fmt.Errorf("wdm: coloring: %w", err)
 	}
+	return s.insertEntry(req, p, slot, bestEffort), nil
+}
+
+// insertEntry accounts p in the load tracker and allocates its entry.
+func (s *Session) insertEntry(req route.Request, p *dipath.Path, slot int, bestEffort bool) SessionID {
 	s.tracker.Add(p)
 	var idx int32
 	if n := len(s.freeIdx); n > 0 {
@@ -241,9 +498,29 @@ func (s *Session) Add(req route.Request) (SessionID, error) {
 		idx = int32(len(s.entries) - 1)
 	}
 	e := &s.entries[idx]
-	e.alive, e.slot, e.req, e.path = true, slot, req, p
+	e.alive, e.slot, e.req, e.path, e.bestEffort = true, slot, req, p, bestEffort
+	if bestEffort {
+		s.bestEffortLive++
+	}
 	s.live++
-	return packID(idx, e.gen), nil
+	return packID(idx, e.gen)
+}
+
+// enforceBudgetLambda restores λ ≤ budget after a Theorem-1-admitted
+// mutation: the incremental colorer may drift above the budget even
+// though the load fits, and on internal-cycle-free topologies the cold
+// pipeline is guaranteed to come back under (Theorem 1: λ = π ≤
+// budget). Suspended while best-effort traffic is live — the invariant
+// cannot hold then — and skipped for coloring states without the budget
+// hooks (deferred strategies re-solve at materialisation, where the
+// strongest theorem applies anyway).
+func (s *Session) enforceBudgetLambda() {
+	if s.budget <= 0 || s.bestEffortLive > 0 {
+		return
+	}
+	if bs, ok := s.coloring.(BudgetedColoringState); ok {
+		bs.EnsureAtMost(s.budget)
+	}
 }
 
 // Remove tears down the request with the given id, releasing its
@@ -258,6 +535,7 @@ func (s *Session) Remove(id SessionID) error {
 	}
 	s.tracker.Remove(e.path)
 	s.release(id, e)
+	s.enforceBudgetLambda()
 	return nil
 }
 
@@ -267,6 +545,10 @@ func (s *Session) release(id SessionID, e *sessionEntry) {
 	e.alive = false
 	e.gen++
 	e.path = nil
+	if e.bestEffort {
+		e.bestEffort = false
+		s.bestEffortLive--
+	}
 	s.freeIdx = append(s.freeIdx, int32(uint32(id)))
 	s.live--
 }
@@ -291,16 +573,45 @@ func (s *Session) Reroute(id SessionID) (bool, error) {
 		s.tracker.Add(e.path)
 		return false, nil
 	}
+	// A budgeted session only switches to a route that itself passes
+	// admission; otherwise the old path stands — not an error, the
+	// request stays provisioned. The cycle-free precheck answers here;
+	// the general-DAG probe is woven into the coloring swap below.
+	budgeted := s.budget > 0 && !e.bestEffort
+	if budgeted && s.cycleFree && !s.rollbackProbe && !s.tracker.FitsAdditional(p, s.budget) {
+		s.tracker.Add(e.path)
+		return false, nil
+	}
 	if err := s.coloring.Remove(e.slot); err != nil {
 		s.tracker.Add(e.path)
 		return false, err
 	}
-	slot, err := s.coloring.Add(p)
+	var slot int
+	if budgeted && (!s.cycleFree || s.rollbackProbe) {
+		var ok bool
+		slot, ok, err = s.colorUnderBudget(p)
+		if err == nil && !ok {
+			// New route over budget: keep the old path (it fit before). The
+			// probe's repack may have permuted the palette, so the restore
+			// re-enforces λ ≤ budget before reporting no change.
+			if oldSlot, restoreErr := s.coloring.Add(e.path); restoreErr == nil {
+				e.slot = oldSlot
+				s.tracker.Add(e.path)
+				s.enforceBudgetLambda()
+				return false, nil
+			}
+			s.release(id, e)
+			return false, fmt.Errorf("wdm: rerouting: %w (request %d dropped)", ErrBudgetExceeded, id)
+		}
+	} else {
+		slot, err = s.coloring.Add(p)
+	}
 	if err != nil {
 		// Try to restore the old path; the session must stay consistent.
 		if oldSlot, restoreErr := s.coloring.Add(e.path); restoreErr == nil {
 			e.slot = oldSlot
 			s.tracker.Add(e.path)
+			s.enforceBudgetLambda()
 			return false, fmt.Errorf("wdm: rerouting: %w", err)
 		}
 		s.release(id, e)
@@ -308,6 +619,7 @@ func (s *Session) Reroute(id SessionID) (bool, error) {
 	}
 	s.tracker.Add(p)
 	e.slot, e.path = slot, p
+	s.enforceBudgetLambda()
 	return true, nil
 }
 

@@ -130,6 +130,12 @@ type ShardedEngine struct {
 	pool    *workerPool
 	closed  bool
 
+	// Wavelength budget (0 = unlimited) and the per-component overlay
+	// band it reserves on two-level components; see
+	// WithEngineWavelengthBudget.
+	budget       int
+	overlaySlice int
+
 	// Batch-scoped scratch, reused across ApplyBatch calls.
 	p1Scratch   []int32 // phase-1 shard indices
 	p2Scratch   []int32 // phase-2 component indices
@@ -199,9 +205,11 @@ func (c *engineComponent) twoLevel() bool { return c.plain == nil }
 
 // shardedConfig collects NewShardedEngine options.
 type shardedConfig struct {
-	workers     int
-	subshard    int
-	sessionOpts []SessionOption
+	workers      int
+	subshard     int
+	budget       int
+	overlaySlice int
+	sessionOpts  []SessionOption
 }
 
 // ShardedOption configures NewShardedEngine.
@@ -247,6 +255,44 @@ func WithSubshardThreshold(n int) ShardedOption {
 	}
 }
 
+// WithEngineWavelengthBudget caps every lane of the engine at a global
+// wavelength budget of w: because λ aggregates as a max over components
+// (and over the arc-disjoint regions inside one), a global budget is
+// exactly a per-shard budget, so admission stays on the lock-free
+// per-shard hot path with no cross-shard coordination. Plain components
+// admit against w outright; a two-level component splits w into a
+// region band (w minus the overlay slice, see WithOverlayBudgetSlice)
+// and an overlay band, so the banded aggregation can never exceed w.
+// Over-budget requests fail their batch op with ErrBudgetExceeded (or
+// go to the admission strategy configured via WithShardSessionOptions);
+// per-lane counts aggregate into EngineStats. w <= 0 means unlimited.
+func WithEngineWavelengthBudget(w int) ShardedOption {
+	return func(c *shardedConfig) error {
+		if w < 0 {
+			return fmt.Errorf("wdm: wavelength budget must be >= 0, got %d", w)
+		}
+		c.budget = w
+		return nil
+	}
+}
+
+// WithOverlayBudgetSlice sets how many of a budgeted engine's w
+// wavelengths each two-level component reserves for its overlay lane
+// (cross-region traffic); region lanes admit against the remaining
+// w - slice. The default is w/4, at least 1. The slice must leave the
+// regions at least one wavelength; an engine whose layout has two-level
+// components rejects budgets that cannot be split (use
+// WithSubshardThreshold(0) to run such budgets single-level).
+func WithOverlayBudgetSlice(k int) ShardedOption {
+	return func(c *shardedConfig) error {
+		if k < 1 {
+			return fmt.Errorf("wdm: overlay budget slice must be >= 1, got %d", k)
+		}
+		c.overlaySlice = k
+		return nil
+	}
+}
+
 // NewShardedEngine partitions the network's topology into weakly
 // connected components, decomposes giant components into arc-disjoint
 // regions (see WithSubshardThreshold), opens one session per executable
@@ -259,18 +305,33 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 			return nil, err
 		}
 	}
+	overlaySlice := cfg.overlaySlice
+	if cfg.budget > 0 && overlaySlice == 0 {
+		if overlaySlice = cfg.budget / 4; overlaySlice < 1 {
+			overlaySlice = 1
+		}
+	}
 	views, label, localV := n.Topology.PartitionComponents()
 	e := &ShardedEngine{
-		net:       n,
-		comps:     make([]*engineComponent, 0, len(views)),
-		label:     label,
-		localV:    localV,
-		workers:   cfg.workers,
-		compStamp: make([]uint64, len(views)),
+		net:          n,
+		comps:        make([]*engineComponent, 0, len(views)),
+		label:        label,
+		localV:       localV,
+		workers:      cfg.workers,
+		budget:       cfg.budget,
+		overlaySlice: overlaySlice,
+		compStamp:    make([]uint64, len(views)),
 	}
-	newSess := func(g *digraph.Digraph, what string) (*Session, error) {
+	newSess := func(g *digraph.Digraph, budget int, what string) (*Session, error) {
 		subnet := &Network{Topology: g, Wavelengths: n.Wavelengths}
-		sess, err := subnet.NewSession(cfg.sessionOpts...)
+		opts := cfg.sessionOpts
+		if cfg.budget > 0 {
+			// The lane budget rides after the caller's session options, so
+			// the engine's banding always wins over a stray
+			// WithWavelengthBudget forwarded through session options.
+			opts = append(opts[:len(opts):len(opts)], WithWavelengthBudget(budget))
+		}
+		sess, err := subnet.NewSession(opts...)
 		if err != nil {
 			return nil, fmt.Errorf("wdm: %s: %w", what, err)
 		}
@@ -290,7 +351,7 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 			}
 		}
 		if regs == nil {
-			sess, err := newSess(view.G, fmt.Sprintf("component %d", ci))
+			sess, err := newSess(view.G, cfg.budget, fmt.Sprintf("component %d", ci))
 			if err != nil {
 				return nil, err
 			}
@@ -300,9 +361,14 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 				toGlobalArc:    view.ToGlobalArc,
 			})
 		} else {
+			if cfg.budget > 0 && cfg.budget-overlaySlice < 1 {
+				return nil, fmt.Errorf(
+					"wdm: wavelength budget %d cannot band a two-level component (overlay slice %d leaves no region budget); use WithOverlayBudgetSlice or WithSubshardThreshold(0)",
+					cfg.budget, overlaySlice)
+			}
 			comp.regions = regs
 			for ri, rv := range regs.Views {
-				sess, err := newSess(rv.G, fmt.Sprintf("component %d region %d", ci, ri))
+				sess, err := newSess(rv.G, cfg.budget-overlaySlice, fmt.Sprintf("component %d region %d", ci, ri))
 				if err != nil {
 					return nil, err
 				}
@@ -322,7 +388,7 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 					toCompVertex:   rv.ToGlobalVertex,
 				}))
 			}
-			sess, err := newSess(view.G, fmt.Sprintf("component %d overlay", ci))
+			sess, err := newSess(view.G, overlaySlice, fmt.Sprintf("component %d overlay", ci))
 			if err != nil {
 				return nil, err
 			}
@@ -370,20 +436,70 @@ func (e *ShardedEngine) NumComponents() int { return len(e.comps) }
 // Workers returns the ApplyBatch worker bound.
 func (e *ShardedEngine) Workers() int { return e.workers }
 
-// EngineStats summarises the engine layout and the two-level lanes'
-// occupancy.
+// LaneStats aggregates one lane flavour's traffic across the engine:
+// cumulative admission outcomes (requests offered, accepted, rejected,
+// and the accepted subdivisions) plus the current live occupancy.
+// Sessions count every offer even without a budget, so the region-vs-
+// overlay traffic split — the serialized-overlay pressure the two-level
+// layout caps out on — is observable without a profiler.
+type LaneStats struct {
+	Requests   int
+	Accepted   int
+	Rejected   int
+	BestEffort int
+	Retried    int
+	Live       int
+}
+
+func (l *LaneStats) add(s *Session) {
+	st := s.AdmissionStats()
+	l.Requests += st.Requests
+	l.Accepted += st.Accepted
+	l.Rejected += st.Rejected
+	l.BestEffort += st.BestEffort
+	l.Retried += st.Retried
+	l.Live += s.Len()
+}
+
+// EngineStats summarises the engine layout, the two-level lanes'
+// occupancy, and the per-lane traffic shares with their admission
+// outcomes (λ = max aggregation makes the engine budget a per-lane
+// budget, so the lane counters add up to the engine's blocking
+// behaviour exactly).
 type EngineStats struct {
 	Components   int // weakly connected components
 	TwoLevel     int // components running the two-level region layout
 	RegionShards int // region lanes across all two-level components
 	OverlayLive  int // live requests across all overlay lanes
+
+	Budget int // engine wavelength budget (0 = unlimited)
+
+	Plain   LaneStats // whole-component shards
+	Region  LaneStats // region lanes of two-level components
+	Overlay LaneStats // serialized overlay lanes
 }
 
-// Stats reports the engine layout and overlay occupancy.
+// Requests returns the total offers across all lanes.
+func (st EngineStats) Requests() int {
+	return st.Plain.Requests + st.Region.Requests + st.Overlay.Requests
+}
+
+// Accepted returns the total accepted offers across all lanes.
+func (st EngineStats) Accepted() int {
+	return st.Plain.Accepted + st.Region.Accepted + st.Overlay.Accepted
+}
+
+// Rejected returns the total budget rejections across all lanes.
+func (st EngineStats) Rejected() int {
+	return st.Plain.Rejected + st.Region.Rejected + st.Overlay.Rejected
+}
+
+// Stats reports the engine layout, overlay occupancy and per-lane
+// traffic shares.
 func (e *ShardedEngine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	st := EngineStats{Components: len(e.comps)}
+	st := EngineStats{Components: len(e.comps), Budget: e.budget}
 	for _, c := range e.comps {
 		if c.twoLevel() {
 			st.TwoLevel++
@@ -391,7 +507,29 @@ func (e *ShardedEngine) Stats() EngineStats {
 			st.OverlayLive += c.overlay.sess.Len()
 		}
 	}
+	for _, sh := range e.shards {
+		switch sh.kind {
+		case shardPlain:
+			st.Plain.add(sh.sess)
+		case shardRegion:
+			st.Region.add(sh.sess)
+		case shardOverlay:
+			st.Overlay.add(sh.sess)
+		}
+	}
 	return st
+}
+
+// Budget returns the engine's wavelength budget (0 = unlimited).
+func (e *ShardedEngine) Budget() int { return e.budget }
+
+// OverlayBudgetSlice returns the overlay band a budgeted engine
+// reserves per two-level component (0 when no budget is set).
+func (e *ShardedEngine) OverlayBudgetSlice() int {
+	if e.budget <= 0 {
+		return 0
+	}
+	return e.overlaySlice
 }
 
 // OverlayLambda returns the maximum number of overlay wavelength
@@ -545,9 +683,23 @@ func (sh *engineShard) apply(e *ShardedEngine, op BatchOp, lreq route.Request) B
 // vertices, cross-component requests, unknown shards) fail
 // individually without aborting the batch.
 func (e *ShardedEngine) ApplyBatch(ops []BatchOp) []BatchResult {
+	return e.ApplyBatchInto(ops, nil)
+}
+
+// ApplyBatchInto is ApplyBatch with a caller-owned results buffer:
+// results is resized to len(ops) reusing its capacity (and cleared —
+// stale entries never leak into the new batch), so a steady-state
+// caller recycling the returned slice pays no per-batch allocation for
+// it. Passing nil behaves exactly like ApplyBatch.
+func (e *ShardedEngine) ApplyBatchInto(ops []BatchOp, results []BatchResult) []BatchResult {
+	if cap(results) >= len(ops) {
+		results = results[:len(ops)]
+		clear(results)
+	} else {
+		results = make([]BatchResult, len(ops))
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	results := make([]BatchResult, len(ops))
 	if e.closed {
 		for i := range results {
 			results[i].Err = ErrEngineClosed

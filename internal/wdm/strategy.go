@@ -284,6 +284,15 @@ func (s *incrementalState) Assignment(slots []int, _ dipath.Family) ([]int, int,
 // Incremental exposes the underlying colorer (stats, lower bound).
 func (s *incrementalState) Incremental() *core.Incremental { return s.ic }
 
+// AddUnderLimit and EnsureAtMost implement BudgetedColoringState — the
+// exact-rollback admission probe and the post-mutation λ enforcement
+// the budgeted session drives.
+func (s *incrementalState) AddUnderLimit(p *dipath.Path, limit int) (int, bool, error) {
+	return s.ic.AddUnderLimit(p, limit)
+}
+
+func (s *incrementalState) EnsureAtMost(limit int) int { return s.ic.EnsureAtMost(limit) }
+
 // fullColoring defers all wavelength assignment to a from-scratch
 // ColorDAG run: Add and Remove only track the live set, and Assignment
 // (or NumLambda) runs the strongest applicable theorem on the snapshot.

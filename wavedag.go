@@ -166,7 +166,62 @@
 // the frozen state. Both the sharded dispatcher and the plain Router
 // reject infeasible cross-component requests in O(1) from component
 // labels (the Router computes them lazily, on its first exhausted
-// search) instead of repeating exhausted searches.
+// search) instead of repeating exhausted searches. ApplyBatchInto is
+// ApplyBatch with a caller-pooled results buffer — steady-state batch
+// loops recycle one slice instead of allocating per call.
+//
+// # Admission control & budgets
+//
+// An unbudgeted engine always accepts and lets λ float; a budgeted one
+// is capacity-constrained with measurable blocking — the regime the
+// paper's concluding-remarks problem (satisfy a maximum subfamily under
+// a wavelength budget) lives in, taken online. WithWavelengthBudget(w)
+// turns a Session into an admission-controlled engine: every Add/TryAdd
+// decides accept-or-reject before any state mutates.
+//
+//   - On internal-cycle-free topologies the decision is the Theorem-1
+//     precheck: "fits in w wavelengths" is exactly "load ≤ w" there, so
+//     admission is an O(path) read of the live load tracker — measured
+//     at a fraction of the cost of a provisioning attempt (see the
+//     admission/reject-cost benchmark pair) — and it is exact: a
+//     request is rejected only when its route genuinely cannot fit.
+//     After an accepted add the engine restores λ ≤ w whenever the
+//     incremental palette drifted (Theorem 1 guarantees the recolor
+//     lands at π ≤ w).
+//   - On general DAGs (internal cycles present) the engine falls back
+//     to a color-then-rollback probe through the coloring layer: the
+//     request is admitted only if it takes a wavelength below w without
+//     disturbing the live assignment (one palette repack allowed), and
+//     a rejection rolls the insertion back exactly.
+//
+// What happens to over-budget requests is a pluggable AdmissionStrategy
+// resolved from a registry, exactly like routing and coloring: "reject"
+// drops them (the default — blocking-probability experiments measure
+// this), "retry-alt-route" re-asks a min-load router for a detour
+// around the saturated arcs and recovers the request when one fits, and
+// "degrade" accepts them as best-effort traffic reported separately
+// (suspending the λ ≤ w guarantee while any is live). TryAdd returns
+// the Admission decision without an error detour; Add wraps rejections
+// in ErrBudgetExceeded; AdmissionStats counts offers, accepts, rejects,
+// retries and best-effort admissions.
+//
+// ShardedEngine takes the budget via WithEngineWavelengthBudget: λ
+// aggregates as a max over components and over the arc-disjoint regions
+// inside one, so a global budget is exactly a per-shard budget and
+// admission stays on the lock-free per-shard hot path. Two-level
+// components band the budget — region lanes admit against w minus the
+// overlay slice (WithOverlayBudgetSlice, default w/4), the overlay lane
+// against its slice — so the banded aggregation can never exceed w.
+// Per-lane admission outcomes and traffic shares aggregate into
+// EngineStats (LaneStats for plain/region/overlay), making overlay
+// pressure observable without a profiler.
+//
+// The static max-request solvers (MaxRequestsGreedy/Exact/OnPath) have
+// an online counterpart, MaxRequestsOnline: dipaths offered one at a
+// time against a budgeted session, each irrevocably accepted or
+// rejected — always feasible at w, never beating the exact offline
+// selection, and carrying a full wavelength assignment rather than just
+// a selection.
 //
 // BENCH_PR1.json records the measured baseline (ns/op, B/op, allocs/op,
 // before/after) for the E1–E12 experiment pipelines and the large-
@@ -274,14 +329,52 @@ type (
 	// RegionMember is one (region, local id) membership of a vertex in
 	// a Regions decomposition.
 	RegionMember = digraph.RegionMember
-	// EngineStats summarises a ShardedEngine's layout (see
-	// ShardedEngine.Stats).
+	// EngineStats summarises a ShardedEngine's layout, per-lane traffic
+	// shares and admission outcomes (see ShardedEngine.Stats).
 	EngineStats = wdm.EngineStats
+	// LaneStats aggregates one engine lane flavour's traffic and
+	// admission outcomes.
+	LaneStats = wdm.LaneStats
+	// Admission is the outcome of one budgeted admission decision (see
+	// Session.TryAdd).
+	Admission = wdm.Admission
+	// AdmissionStats counts a session's cumulative admission outcomes.
+	AdmissionStats = wdm.AdmissionStats
+	// AdmissionStrategy decides the fate of over-budget requests;
+	// register implementations with RegisterAdmissionStrategy.
+	AdmissionStrategy = wdm.AdmissionStrategy
+	// AdmissionState is per-session admission state built by an
+	// AdmissionStrategy.
+	AdmissionState = wdm.AdmissionState
+	// AdmissionContext is the controlled session view an AdmissionState
+	// decides through.
+	AdmissionContext = wdm.AdmissionContext
+	// BudgetedColoringState is the optional ColoringState extension that
+	// gives a custom coloring strategy native budget admission (exact
+	// rollback probe + λ enforcement) instead of the generic
+	// add-measure-rollback fallback.
+	BudgetedColoringState = wdm.BudgetedColoringState
+	// OnlineMaxRequests is the online max-request selection: dipaths
+	// offered one at a time against a wavelength budget (see
+	// NewOnlineMaxRequests).
+	OnlineMaxRequests = groom.Online
 )
 
 // ErrEngineClosed is returned by mutating ShardedEngine methods after
 // Close; queries keep working on the frozen state.
 var ErrEngineClosed = wdm.ErrEngineClosed
+
+// ErrBudgetExceeded is the sentinel wrapped by Add (and batch results)
+// when budget admission rejects a request; TryAdd reports the same
+// outcome as a non-error Admission decision.
+var ErrBudgetExceeded = wdm.ErrBudgetExceeded
+
+// Names of the built-in admission strategies.
+const (
+	AdmissionReject        = wdm.AdmissionReject
+	AdmissionRetryAltRoute = wdm.AdmissionRetryAltRoute
+	AdmissionDegrade       = wdm.AdmissionDegrade
+)
 
 // DefaultSubshardThreshold is the component size (in vertices) at which
 // NewShardedEngine switches a component to the two-level region layout.
@@ -326,6 +419,29 @@ func WithSlack(slack int) SessionOption { return wdm.WithSlack(slack) }
 // simultaneously live requests.
 func WithCapacityHint(n int) SessionOption { return wdm.WithCapacityHint(n) }
 
+// WithWavelengthBudget caps a session at w wavelengths: every Add and
+// TryAdd runs budget admission before any state mutates (see the
+// "Admission control & budgets" section). w <= 0 means unlimited.
+func WithWavelengthBudget(w int) SessionOption { return wdm.WithWavelengthBudget(w) }
+
+// WithAdmissionStrategy selects how a budgeted session handles
+// over-budget requests (default: reject).
+func WithAdmissionStrategy(s AdmissionStrategy) SessionOption {
+	return wdm.WithAdmissionStrategy(s)
+}
+
+// WithAdmissionStrategyName selects a registered admission strategy by
+// name (AdmissionReject, AdmissionRetryAltRoute or AdmissionDegrade for
+// the built-ins).
+func WithAdmissionStrategyName(name string) SessionOption {
+	return wdm.WithAdmissionStrategyName(name)
+}
+
+// WithAdmissionRollbackProbe forces the general-DAG color-then-rollback
+// admission probe even on internal-cycle-free topologies — the ablation
+// axis of the admission benchmarks.
+func WithAdmissionRollbackProbe() SessionOption { return wdm.WithAdmissionRollbackProbe() }
+
 // Sharded-engine options and batch constructors, re-exported from the
 // wdm layer.
 
@@ -343,6 +459,19 @@ func WithShardSessionOptions(opts ...SessionOption) ShardedOption {
 // a ShardedEngine decomposes a component into arc-disjoint regions and
 // runs it two-level; 0 disables sub-sharding.
 func WithSubshardThreshold(n int) ShardedOption { return wdm.WithSubshardThreshold(n) }
+
+// WithEngineWavelengthBudget caps every lane of a ShardedEngine at a
+// global wavelength budget of w — per-shard admission with no
+// cross-shard coordination, since λ aggregates as a max. w <= 0 means
+// unlimited.
+func WithEngineWavelengthBudget(w int) ShardedOption {
+	return wdm.WithEngineWavelengthBudget(w)
+}
+
+// WithOverlayBudgetSlice sets how many of a budgeted engine's
+// wavelengths each two-level component reserves for its overlay lane
+// (default w/4, at least 1); region lanes admit against the remainder.
+func WithOverlayBudgetSlice(k int) ShardedOption { return wdm.WithOverlayBudgetSlice(k) }
 
 // AddOp returns the batch event provisioning req.
 func AddOp(req Request) BatchOp { return wdm.AddOp(req) }
@@ -372,6 +501,21 @@ func LookupRoutingStrategy(name string) (RoutingStrategy, bool) {
 func LookupColoringStrategy(name string) (ColoringStrategy, bool) {
 	return wdm.LookupColoringStrategy(name)
 }
+
+// RegisterAdmissionStrategy adds an admission strategy to the registry.
+func RegisterAdmissionStrategy(s AdmissionStrategy) error {
+	return wdm.RegisterAdmissionStrategy(s)
+}
+
+// LookupAdmissionStrategy returns the registered admission strategy
+// named name.
+func LookupAdmissionStrategy(name string) (AdmissionStrategy, bool) {
+	return wdm.LookupAdmissionStrategy(name)
+}
+
+// AdmissionStrategyNames returns the registered admission strategy
+// names, sorted.
+func AdmissionStrategyNames() []string { return wdm.AdmissionStrategyNames() }
 
 // RoutingStrategyNames returns the registered routing strategy names,
 // sorted.
@@ -518,4 +662,20 @@ func MaxRequestsExact(g *Graph, fam Family, budget int) ([]int, bool) {
 // grew out of).
 func MaxRequestsOnPath(g *Graph, fam Family, budget int) ([]int, error) {
 	return groom.MaxOnPath(g, fam, budget)
+}
+
+// NewOnlineMaxRequests opens an online max-request run at wavelength
+// budget w on g: dipaths are offered one at a time (Offer/OfferFamily)
+// and each is irrevocably accepted or rejected by a budgeted session —
+// the paper's concluding-remarks problem taken online. Extra session
+// options (admission strategy, slack) pass through.
+func NewOnlineMaxRequests(g *Graph, w int, opts ...SessionOption) (*OnlineMaxRequests, error) {
+	return groom.NewOnline(g, w, opts...)
+}
+
+// MaxRequestsOnline offers the whole family in index order against a
+// fresh budget-w online selection and returns the accepted indices —
+// always feasible at w, never larger than MaxRequestsExact's answer.
+func MaxRequestsOnline(g *Graph, fam Family, w int) ([]int, error) {
+	return groom.OnlineMax(g, fam, w)
 }

@@ -1,6 +1,7 @@
 package wavedag_test
 
 import (
+	"errors"
 	"testing"
 
 	"wavedag"
@@ -154,5 +155,81 @@ func TestSessionFacade(t *testing.T) {
 	}
 	if ic.NumLambda() != 1 {
 		t.Fatalf("colorer λ = %d", ic.NumLambda())
+	}
+}
+
+// TestAdmissionFacade exercises the budgeted-admission API through the
+// facade: session budgets, the admission registry, the budgeted sharded
+// engine with its lane stats, and the online max-request selection
+// against its offline oracles.
+func TestAdmissionFacade(t *testing.T) {
+	// Directed path 0 -> 1 -> 2 -> 3: a Theorem-1 topology.
+	g := wavedag.NewGraph(4)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	g.MustAddArc(2, 3)
+
+	for _, name := range []string{
+		wavedag.AdmissionReject, wavedag.AdmissionRetryAltRoute, wavedag.AdmissionDegrade,
+	} {
+		if _, ok := wavedag.LookupAdmissionStrategy(name); !ok {
+			t.Fatalf("built-in admission strategy %q not registered", name)
+		}
+	}
+
+	net := &wavedag.Network{Topology: g}
+	s, err := net.NewSession(wavedag.WithWavelengthBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(wavedag.Request{Src: 0, Dst: 3}); err != nil {
+		t.Fatal(err)
+	}
+	_, adm, err := s.TryAdd(wavedag.Request{Src: 1, Dst: 2})
+	if err != nil || adm.Accepted {
+		t.Fatalf("over-budget request: %+v %v", adm, err)
+	}
+	if _, err := s.Add(wavedag.Request{Src: 1, Dst: 2}); !errors.Is(err, wavedag.ErrBudgetExceeded) {
+		t.Fatalf("Add error = %v, want ErrBudgetExceeded", err)
+	}
+	if st := s.AdmissionStats(); st.Accepted != 1 || st.Rejected != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Online max-request: at w=1 only disjoint dipaths survive, and the
+	// selection can never beat the exact solver.
+	fam := wavedag.Family{
+		wavedag.MustPath(g, 0, 1, 2),
+		wavedag.MustPath(g, 1, 2, 3),
+		wavedag.MustPath(g, 2, 3),
+	}
+	sel, err := wavedag.MaxRequestsOnline(g, fam, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := wavedag.MaxRequestsExact(g, fam, 1)
+	if len(sel) == 0 || len(sel) > len(exact) {
+		t.Fatalf("|online| = %d, |exact| = %d", len(sel), len(exact))
+	}
+
+	// Budgeted engine: stats carry the budget and the lane shares.
+	eng, err := net.NewShardedEngine(wavedag.WithEngineWavelengthBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	results := eng.ApplyBatchInto([]wavedag.BatchOp{
+		wavedag.AddOp(wavedag.Request{Src: 0, Dst: 3}),
+		wavedag.AddOp(wavedag.Request{Src: 1, Dst: 2}),
+	}, nil)
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if !errors.Is(results[1].Err, wavedag.ErrBudgetExceeded) {
+		t.Fatalf("batch rejection = %v", results[1].Err)
+	}
+	st := eng.Stats()
+	if st.Budget != 1 || st.Plain.Accepted != 1 || st.Plain.Rejected != 1 {
+		t.Fatalf("engine stats %+v", st)
 	}
 }
