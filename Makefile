@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify benchsmoke benchsmoke-sharded benchsmoke-subshard benchsmoke-admission bench test
+.PHONY: verify benchsmoke benchsmoke-sharded benchsmoke-subshard benchsmoke-admission benchsmoke-survive bench test
 
 verify:
 	$(GO) build ./...
@@ -34,6 +34,12 @@ benchsmoke-subshard:
 # precheck vs color-and-rollback), at two GOMAXPROCS settings.
 benchsmoke-admission:
 	$(GO) test -run=NONE -bench='AdmissionChurn' -benchtime=1x -cpu=1,4 ./...
+
+# Survivability smoke: churn with interleaved fiber cuts (restoration
+# storms, dark parking, revival) on the session and the sharded engine,
+# at two GOMAXPROCS settings.
+benchsmoke-survive:
+	$(GO) test -run=NONE -bench='SurviveChurn' -benchtime=1x -cpu=1,4 ./...
 
 bench:
 	$(GO) run ./cmd/bench -benchtime 1s -out bench-latest.json

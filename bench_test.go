@@ -664,3 +664,181 @@ func BenchmarkAdmissionChurn(b *testing.B) {
 		})
 	}
 }
+
+// Survivability churn: fiber cuts interleaved with budgeted churn. Each
+// iteration is one churn event; a deterministic MTBF/MTTR fault
+// schedule cuts and repairs arcs as the clock advances, so restoration
+// storms, dark parking and revival all run inside the timed loop.
+func BenchmarkSurviveChurn(b *testing.B) {
+	topo, err := gen.RandomNoInternalCycleDAG(40, 6, 6, 0.2, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := gen.HotspotRequestPool(topo, 10, 0.7, 2000, 17)
+	pool := make([]wavedag.Request, len(pairs))
+	for i, p := range pairs {
+		pool[i] = wavedag.Request{Src: p[0], Dst: p[1]}
+	}
+	const budget = 8
+	events, err := wavedag.NewFaultSchedule(topo, 8000, 100, 50_000, 71)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("session", func(b *testing.B) {
+		net := &wavedag.Network{Topology: topo}
+		s, err := net.NewSession(wavedag.WithWavelengthBudget(budget))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ids []wavedag.SessionID
+		clock, next := 0.0, 0
+		healAll := func() {
+			for a := 0; a < topo.NumArcs(); a++ {
+				if topo.ArcFailed(wavedag.ArcID(a)) {
+					if _, err := s.RestoreArc(wavedag.ArcID(a)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		step := func(i int) {
+			for next < len(events) && events[next].At <= clock {
+				ev := events[next]
+				next++
+				if ev.Restore {
+					if _, err := s.RestoreArc(ev.Arc); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := s.FailArc(ev.Arc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if next >= len(events) {
+				healAll()
+				next, clock = 0, 0
+			}
+			clock++
+			id, adm, err := s.TryAdd(pool[(i*13)%len(pool)])
+			if err != nil {
+				var nr route.ErrNoRoute
+				if errors.As(err, &nr) {
+					return // the cut disconnected the pair: blocked
+				}
+				b.Fatal(err)
+			}
+			if adm.Accepted {
+				ids = append(ids, id)
+			}
+			if len(ids) > 150 {
+				if err := s.Remove(ids[0]); err != nil {
+					b.Fatal(err)
+				}
+				ids = ids[1:]
+			}
+		}
+		for i := 0; i < 400; i++ {
+			step(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step(i)
+		}
+		b.StopTimer()
+		healAll()
+		if err := s.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		if n, err := s.NumLambda(); err != nil || n > budget {
+			b.Fatalf("λ=%d past budget (%v)", n, err)
+		}
+	})
+
+	b.Run("sharded", func(b *testing.B) {
+		parts := make([]gen.Instance, 4)
+		for i := range parts {
+			g, err := gen.RandomNoInternalCycleDAG(40, 6, 6, 0.2, int64(21+i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts[i] = gen.Instance{G: g}
+		}
+		g, _ := gen.DisjointUnion(parts...)
+		spairs := gen.HotspotRequestPool(g, 16, 0.7, 2000, 27)
+		spool := make([]wavedag.Request, len(spairs))
+		for i, p := range spairs {
+			spool[i] = wavedag.Request{Src: p[0], Dst: p[1]}
+		}
+		sevents, err := wavedag.NewFaultSchedule(g, 8000, 100, 50_000, 73)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net := &wavedag.Network{Topology: g}
+		eng, err := net.NewShardedEngine(wavedag.WithEngineWavelengthBudget(budget))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		var ids []wavedag.ShardedID
+		clock, next := 0.0, 0
+		healAll := func() {
+			for a := 0; a < g.NumArcs(); a++ {
+				if g.ArcFailed(wavedag.ArcID(a)) {
+					if _, err := eng.RestoreArc(wavedag.ArcID(a)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		step := func(i int) {
+			for next < len(sevents) && sevents[next].At <= clock {
+				ev := sevents[next]
+				next++
+				if ev.Restore {
+					if _, err := eng.RestoreArc(ev.Arc); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := eng.FailArc(ev.Arc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if next >= len(sevents) {
+				healAll()
+				next, clock = 0, 0
+			}
+			clock++
+			id, err := eng.Add(spool[(i*13)%len(spool)])
+			if err != nil {
+				var nr route.ErrNoRoute
+				if errors.As(err, &nr) || errors.Is(err, wavedag.ErrBudgetExceeded) {
+					return // blocked arrival: holds nothing
+				}
+				b.Fatal(err)
+			}
+			ids = append(ids, id)
+			if len(ids) > 150 {
+				if err := eng.Remove(ids[0]); err != nil {
+					b.Fatal(err)
+				}
+				ids = ids[1:]
+			}
+		}
+		for i := 0; i < 400; i++ {
+			step(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step(i)
+		}
+		b.StopTimer()
+		healAll()
+		if err := eng.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		if n, err := eng.NumLambda(); err != nil || n > budget {
+			b.Fatalf("λ=%d past budget (%v)", n, err)
+		}
+	})
+}

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-out bench.json] [-benchtime 1s] [-large]
+//	go run ./cmd/bench [-out bench.json] [-benchtime 1s] [-large] [-survive]
+//
+// -survive adds the survivability sweep (fiber-cut churn over a 3-point
+// MTBF axis plus the sharded-engine counterpart); its snapshots land in
+// BENCH_PR6.json.
 //
 // The E-suite entries mirror bench_test.go so snapshots line up with
 // `go test -bench=.`; the large entries (Theorem 1 at n=500/paths=5000,
@@ -50,6 +54,7 @@ func main() {
 	out := flag.String("out", "", "write JSON snapshot to this file (default stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark")
 	large := flag.Bool("large", true, "include the large-instance workloads")
+	survive := flag.Bool("survive", false, "include the survivability (fiber-cut) sweep")
 	cpus := flag.String("cpus", "1,2,4", "comma-separated worker counts for the sharded churn sweep")
 	subshard := flag.String("subshard", "0,64", "comma-separated sub-shard thresholds for the giant-component sweep (0 = off)")
 	flag.Parse()
@@ -89,7 +94,7 @@ func main() {
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
 
-	for _, b := range suite(*large, cpuList, subshardList) {
+	for _, b := range suite(*large, *survive, cpuList, subshardList) {
 		run(b.name, b.fn)
 	}
 
@@ -138,8 +143,8 @@ type bench struct {
 // suite builds the benchmark list. Every workload is constructed outside
 // the timed loop, exactly as in bench_test.go. cpus is the worker-count
 // axis of the sharded churn sweeps; subshards the threshold axis of the
-// giant-component sweep.
-func suite(large bool, cpus, subshards []int) []bench {
+// giant-component sweep; survive adds the fiber-cut sweep.
+func suite(large, survive bool, cpus, subshards []int) []bench {
 	var benches []bench
 	add := func(name string, fn func(b *testing.B)) {
 		benches = append(benches, bench{name, fn})
@@ -372,6 +377,23 @@ func suite(large bool, cpus, subshards []int) []bench {
 		label := fmt.Sprintf("giant-P=4-n=%d-paths=400", g.NumVertices())
 		benches = append(benches, giantChurnBenches(label, g, pool, 400, 64, subshards, cpus, 49)...)
 		benches = append(benches, provisioningMergeBenches(label, g, pool, 400, 51)...)
+	}
+
+	// Survivability sweep: fiber-cut churn on the admission topology
+	// over the MTBF axis, plus the engine counterpart on the
+	// 4-component topology.
+	if survive {
+		topo, err := gen.RandomNoInternalCycleDAG(40, 6, 6, 0.2, 12)
+		if err != nil {
+			fatal(err)
+		}
+		pool := requestPool(gen.HotspotRequestPool(topo, 10, 0.7, 4000, 17))
+		benches = append(benches, surviveBenches("n=40-paths=200", topo, pool, 200, 61)...)
+
+		g := multiShard(4, 40, 21)
+		spool := requestPool(gen.HotspotRequestPool(g, 16, 0.7, 4000, 27))
+		benches = append(benches, surviveShardedBenches(
+			"C=4-n=160-paths=400", g, spool, 400, cpus, 63)...)
 	}
 
 	if !large {

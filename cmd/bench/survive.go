@@ -1,0 +1,278 @@
+// Survivability workload driver: churn with live fiber cuts. A
+// deterministic MTBF/MTTR fault schedule (gen.FaultSchedule) is
+// replayed against the churn trace — each churn event advances the
+// fault clock by one unit — so cuts trigger restoration storms while
+// arrivals and departures keep flowing. ns/op is per churn event;
+// restoration latency, restored%, parked/revived counts and budget
+// violations ride along as benchmark metrics (Entry.Extra in the JSON
+// snapshot). The MTBF axis sweeps quiet, stressed and storm-heavy
+// regimes at a fixed repair time.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/gen"
+	"wavedag/internal/route"
+	"wavedag/internal/wdm"
+)
+
+// faultHorizon is the schedule length in churn events; when a replay
+// runs past it, every open cut is healed and the schedule restarts, so
+// arbitrarily long benchmark runs stay valid.
+const faultHorizon = 100_000
+
+// surviveChurnBench measures a budgeted session's per-event cost under
+// interleaved fiber cuts. Arrivals that lost their component to a cut
+// are counted as blocked, not failures; budget violations (λ > w
+// observed after any fault event) are reported and expected to be 0.
+func surviveChurnBench(name string, g *digraph.Digraph, pool []route.Request, liveTarget, budget int, mtbf, mttr float64, seed int64) bench {
+	return bench{name, func(b *testing.B) {
+		b.ReportAllocs()
+		net := &wdm.Network{Topology: g}
+		s, err := net.NewSession(wdm.WithWavelengthBudget(budget))
+		if err != nil {
+			b.Fatal(err)
+		}
+		events, err := gen.FaultSchedule(g, mtbf, mttr, faultHorizon, seed+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := newChurnDriver(pool, float64(liveTarget), seed)
+		ids := make(map[int]wdm.SessionID, liveTarget)
+		var stormNanos int64
+		violations, clock, next := 0, 0.0, 0
+		healAll := func() {
+			for a := 0; a < g.NumArcs(); a++ {
+				if g.ArcFailed(digraph.ArcID(a)) {
+					if _, err := s.RestoreArc(digraph.ArcID(a)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		step := func() {
+			for next < len(events) && events[next].At <= clock {
+				ev := events[next]
+				next++
+				if ev.Restore {
+					if _, err := s.RestoreArc(ev.Arc); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					start := time.Now()
+					if _, err := s.FailArc(ev.Arc); err != nil {
+						b.Fatal(err)
+					}
+					stormNanos += time.Since(start).Nanoseconds()
+				}
+				if n, err := s.NumLambda(); err != nil {
+					b.Fatal(err)
+				} else if n > budget {
+					violations++
+				}
+			}
+			if next >= len(events) {
+				healAll()
+				next, clock = 0, 0
+			}
+			clock++
+			op := d.nextOp()
+			if op.add {
+				id, adm, err := s.TryAdd(op.req)
+				if err != nil {
+					var nr route.ErrNoRoute
+					if errors.As(err, &nr) {
+						return // the cut disconnected the pair: blocked
+					}
+					b.Fatal(err)
+				}
+				if adm.Accepted {
+					ids[op.seq] = id
+				}
+			} else if id, ok := ids[op.seq]; ok {
+				if err := s.Remove(id); err != nil {
+					b.Fatal(err)
+				}
+				delete(ids, op.seq)
+			}
+		}
+		for i := 0; i < liveTarget*2; i++ {
+			step()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+		b.StopTimer()
+		fs := s.FailureStats()
+		if fs.Affected > 0 {
+			b.ReportMetric(100*float64(fs.Restored)/float64(fs.Affected), "restored%")
+		}
+		if fs.Cuts > 0 {
+			b.ReportMetric(float64(stormNanos)/float64(fs.Cuts)/1e3, "storm_us")
+		}
+		b.ReportMetric(float64(fs.Parked), "parked")
+		b.ReportMetric(float64(fs.Revived), "revived")
+		b.ReportMetric(float64(violations), "budget_violations")
+		b.ReportMetric(float64(budget), "budget")
+		healAll()
+		if err := s.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		if n, err := s.NumLambda(); err != nil || n > budget {
+			b.Fatalf("λ=%d past budget %d (%v)", n, budget, err)
+		}
+	}}
+}
+
+// surviveShardedBench is the engine counterpart: single-op churn against
+// the sharded engine with cuts dispatched through ShardedEngine.FailArc,
+// storm latency taken from the engine's own counters.
+func surviveShardedBench(name string, g *digraph.Digraph, pool []route.Request, liveTarget, budget, workers int, mtbf, mttr float64, seed int64) bench {
+	return bench{name, func(b *testing.B) {
+		b.ReportAllocs()
+		net := &wdm.Network{Topology: g}
+		eng, err := net.NewShardedEngine(
+			wdm.WithShardWorkers(workers), wdm.WithEngineWavelengthBudget(budget))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		events, err := gen.FaultSchedule(g, mtbf, mttr, faultHorizon, seed+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := newChurnDriver(pool, float64(liveTarget), seed)
+		ids := make(map[int]wdm.ShardedID, liveTarget)
+		violations, clock, next := 0, 0.0, 0
+		healAll := func() {
+			for a := 0; a < g.NumArcs(); a++ {
+				if g.ArcFailed(digraph.ArcID(a)) {
+					if _, err := eng.RestoreArc(digraph.ArcID(a)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		step := func() {
+			for next < len(events) && events[next].At <= clock {
+				ev := events[next]
+				next++
+				if ev.Restore {
+					if _, err := eng.RestoreArc(ev.Arc); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := eng.FailArc(ev.Arc); err != nil {
+					b.Fatal(err)
+				}
+				if n, err := eng.NumLambda(); err != nil {
+					b.Fatal(err)
+				} else if n > budget {
+					violations++
+				}
+			}
+			if next >= len(events) {
+				healAll()
+				next, clock = 0, 0
+			}
+			clock++
+			op := d.nextOp()
+			if op.add {
+				id, err := eng.Add(op.req)
+				if err != nil {
+					var nr route.ErrNoRoute
+					if errors.As(err, &nr) || errors.Is(err, wdm.ErrBudgetExceeded) {
+						return // blocked arrival: holds nothing
+					}
+					b.Fatal(err)
+				}
+				ids[op.seq] = id
+			} else if id, ok := ids[op.seq]; ok {
+				if err := eng.Remove(id); err != nil {
+					b.Fatal(err)
+				}
+				delete(ids, op.seq)
+			}
+		}
+		for i := 0; i < liveTarget*2; i++ {
+			step()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+		b.StopTimer()
+		st := eng.Stats()
+		affected := st.Plain.Affected + st.Region.Affected + st.Overlay.Affected
+		if affected > 0 {
+			b.ReportMetric(100*float64(st.Restored())/float64(affected), "restored%")
+		}
+		if st.Cuts > 0 {
+			b.ReportMetric(float64(st.StormNanos)/float64(st.Cuts)/1e3, "storm_us")
+		}
+		b.ReportMetric(float64(st.Plain.Parked+st.Region.Parked+st.Overlay.Parked), "parked")
+		b.ReportMetric(float64(st.Plain.Revived+st.Region.Revived+st.Overlay.Revived), "revived")
+		b.ReportMetric(float64(violations), "budget_violations")
+		b.ReportMetric(float64(budget), "budget")
+		healAll()
+		if err := eng.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		if n, err := eng.NumLambda(); err != nil || n > budget {
+			b.Fatalf("λ=%d past budget %d (%v)", n, budget, err)
+		}
+	}}
+}
+
+// surviveMTTR is the mean repair time of every sweep, in churn events.
+const surviveMTTR = 200
+
+// surviveMTBFAxis is the 3-point MTBF sweep: quiet, stressed and
+// storm-heavy cut regimes (mean up time per arc, in churn events).
+var surviveMTBFAxis = []struct {
+	tag  string
+	mtbf float64
+}{
+	{"quiet", 64000},
+	{"stressed", 16000},
+	{"storm", 4000},
+}
+
+// surviveBenches builds the session-level survivability sweep for one
+// topology: the MTBF axis at a fixed MTTR, budget calibrated to the
+// offered load (w = π).
+func surviveBenches(label string, g *digraph.Digraph, pool []route.Request, liveTarget int, seed int64) []bench {
+	pi := offeredPi(g, pool, liveTarget, seed)
+	if pi < 2 {
+		pi = 2
+	}
+	var benches []bench
+	for _, m := range surviveMTBFAxis {
+		benches = append(benches, surviveChurnBench(
+			fmt.Sprintf("survive/churn/%s/mtbf=%s", label, m.tag),
+			g, pool, liveTarget, pi, m.mtbf, surviveMTTR, seed+300))
+	}
+	return benches
+}
+
+// surviveShardedBenches builds the engine-side sweep on a
+// multi-component topology: the stressed MTBF point, one entry per
+// worker count.
+func surviveShardedBenches(label string, g *digraph.Digraph, pool []route.Request, liveTarget int, cpus []int, seed int64) []bench {
+	pi := offeredPi(g, pool, liveTarget, seed)
+	if pi < 2 {
+		pi = 2
+	}
+	var benches []bench
+	for _, c := range cpus {
+		benches = append(benches, surviveShardedBench(
+			fmt.Sprintf("survive/sharded/%s/mtbf=stressed/cpus=%d", label, c),
+			g, pool, liveTarget, pi, c, 16000, surviveMTTR, seed+400))
+	}
+	return benches
+}

@@ -1,0 +1,96 @@
+// Survive: a fiber cut on a live budgeted session, the restoration
+// storm it triggers, graceful degradation to a dark entry, and revival
+// after repair. The topology is a diamond — two arc-disjoint routes
+// from the source to the sink — with a one-wavelength budget: cutting
+// the primary branch reroutes its path over the other branch; cutting
+// both branches leaves nothing to reroute onto, so the path parks dark
+// (retained, not dropped) and comes back when a branch heals.
+//
+//	go run ./examples/survive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wavedag"
+)
+
+func main() {
+	// s -> {a, b} -> t: two arc-disjoint routes, so one cut is
+	// survivable and two are not.
+	g := wavedag.NewGraph(4)
+	const s, a, b, t = 0, 1, 2, 3
+	sa := g.MustAddArc(s, a)
+	g.MustAddArc(a, t)
+	sb := g.MustAddArc(s, b)
+	g.MustAddArc(b, t)
+
+	net := &wavedag.Network{Topology: g}
+	sess, err := net.NewSession(wavedag.WithWavelengthBudget(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := sess.Add(wavedag.Request{Src: s, Dst: t})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show := func(when string) {
+		if dark, _ := sess.IsDark(id); dark {
+			fmt.Printf("%-28s request parked dark (live=%d, dark=%d)\n",
+				when, sess.Len(), sess.DarkLive())
+			return
+		}
+		p, err := sess.Path(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s route %v\n", when, p.Vertices())
+	}
+	show("provisioned:")
+
+	// Cut the branch the request rides: the restoration storm reroutes
+	// it over the other branch within the same budget.
+	p, err := sess.Path(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	first := p.Arcs()[0] // s->a or s->b, whichever was chosen
+	rep, err := sess.FailArc(first)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cut %d: affected=%d restored=%d parked=%d\n",
+		first, rep.Affected, rep.Restored, rep.Parked)
+	show("after first cut:")
+
+	// Cut the other branch too: no route is left, so the storm parks
+	// the path dark instead of dropping it.
+	other := sb
+	if first == sb {
+		other = sa
+	}
+	rep, err = sess.FailArc(other)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cut %d: affected=%d restored=%d parked=%d\n",
+		other, rep.Affected, rep.Restored, rep.Parked)
+	show("after second cut:")
+
+	// Repair one branch: the re-admission sweep revives the dark entry.
+	revived, err := sess.RestoreArc(first)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restore %d: revived=%d\n", first, revived)
+	show("after repair:")
+
+	fs := sess.FailureStats()
+	fmt.Printf("totals: cuts=%d affected=%d restored=%d parked=%d revived=%d\n",
+		fs.Cuts, fs.Affected, fs.Restored, fs.Parked, fs.Revived)
+	if err := sess.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("session verifies clean")
+}

@@ -91,6 +91,20 @@ func (d *Dynamic) ForEachConflict(s int, f func(t int)) {
 // ArcLoad returns the number of live dipaths traversing arc a.
 func (d *Dynamic) ArcLoad(a digraph.ArcID) int { return len(d.arcPaths[a]) }
 
+// ForEachOnArc calls f on every live slot whose dipath traverses arc a.
+// The order is unspecified (the incidence buckets are maintained by
+// swap-removal); f must not mutate d. This is the arc-indexed incidence
+// the survivability layer uses to find the paths hit by a fiber cut in
+// O(affected) instead of O(live).
+func (d *Dynamic) ForEachOnArc(a digraph.ArcID, f func(slot int)) {
+	if int(a) >= len(d.arcPaths) {
+		return
+	}
+	for _, s := range d.arcPaths[a] {
+		f(s)
+	}
+}
+
 // LowerBound returns the maximum arc load of the live dipaths — the
 // paths through that arc form a clique, so this bounds both the clique
 // number ω and the chromatic number χ of the conflict graph from below.

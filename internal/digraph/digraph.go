@@ -33,11 +33,23 @@ type Arc struct {
 // graph ready to use. Vertices and arcs can only be added, never removed;
 // algorithms that need deletion work on index subsets instead, which keeps
 // identifiers stable.
+//
+// Arcs can, however, be failed and restored in place (FailArc /
+// RestoreArc): a failed arc keeps its identifier, its endpoints and its
+// position in every adjacency list — loads, colorings and dipaths
+// indexed by arc stay valid — but failure-aware traversals (the routing
+// layer, LiveComponentLabels) skip it. This is the fiber-cut model of
+// the survivability engine: a cut removes capacity, never renames
+// anything.
 type Digraph struct {
 	labels []string
 	arcs   []Arc
 	out    [][]ArcID // out[v] = arcs with Tail v, in insertion order
 	in     [][]ArcID // in[v] = arcs with Head v, in insertion order
+
+	failed    []bool // failed[a] = arc a is cut; nil until the first cut
+	numFailed int
+	topoEpoch uint64 // bumped by AddArc/FailArc/RestoreArc; see TopologyEpoch
 }
 
 // New returns an empty digraph with n unlabeled vertices.
@@ -76,8 +88,63 @@ func (g *Digraph) AddArc(tail, head Vertex) (ArcID, error) {
 	g.arcs = append(g.arcs, Arc{ID: id, Tail: tail, Head: head})
 	g.out[tail] = append(g.out[tail], id)
 	g.in[head] = append(g.in[head], id)
+	if g.failed != nil {
+		g.failed = append(g.failed, false)
+	}
+	g.topoEpoch++
 	return id, nil
 }
+
+// ── Arc failure (fiber cuts) ───────────────────────────────────────────
+
+// FailArc marks the arc as failed (a fiber cut). The arc keeps its
+// identifier and adjacency position — only failure-aware traversals
+// treat it as absent. Failing an arc that is out of range or already
+// failed is an error.
+func (g *Digraph) FailArc(id ArcID) error {
+	if id < 0 || int(id) >= len(g.arcs) {
+		return fmt.Errorf("digraph: arc %d out of range [0,%d)", id, len(g.arcs))
+	}
+	if g.failed == nil {
+		g.failed = make([]bool, len(g.arcs))
+	}
+	if g.failed[id] {
+		return fmt.Errorf("digraph: arc %d is already failed", id)
+	}
+	g.failed[id] = true
+	g.numFailed++
+	g.topoEpoch++
+	return nil
+}
+
+// RestoreArc clears the failure mark set by FailArc. Restoring an arc
+// that is out of range or not failed is an error.
+func (g *Digraph) RestoreArc(id ArcID) error {
+	if id < 0 || int(id) >= len(g.arcs) {
+		return fmt.Errorf("digraph: arc %d out of range [0,%d)", id, len(g.arcs))
+	}
+	if g.failed == nil || !g.failed[id] {
+		return fmt.Errorf("digraph: arc %d is not failed", id)
+	}
+	g.failed[id] = false
+	g.numFailed--
+	g.topoEpoch++
+	return nil
+}
+
+// ArcFailed reports whether the arc is currently failed. Out-of-range
+// identifiers report false.
+func (g *Digraph) ArcFailed(id ArcID) bool {
+	return g.failed != nil && id >= 0 && int(id) < len(g.failed) && g.failed[id]
+}
+
+// NumFailedArcs reports how many arcs are currently failed.
+func (g *Digraph) NumFailedArcs() int { return g.numFailed }
+
+// TopologyEpoch is a counter bumped by every AddArc, FailArc and
+// RestoreArc. Derived structures (component snapshots, routers) record
+// the epoch they were computed at and recompute when it moves.
+func (g *Digraph) TopologyEpoch() uint64 { return g.topoEpoch }
 
 // MustAddArc is AddArc but panics on error. It is intended for
 // constructions whose vertex arguments are correct by construction
@@ -195,10 +262,13 @@ func (g *Digraph) ArcsBetween(tail, head Vertex) []ArcID {
 // preserved.
 func (g *Digraph) Clone() *Digraph {
 	c := &Digraph{
-		labels: append([]string(nil), g.labels...),
-		arcs:   append([]Arc(nil), g.arcs...),
-		out:    make([][]ArcID, len(g.out)),
-		in:     make([][]ArcID, len(g.in)),
+		labels:    append([]string(nil), g.labels...),
+		arcs:      append([]Arc(nil), g.arcs...),
+		out:       make([][]ArcID, len(g.out)),
+		in:        make([][]ArcID, len(g.in)),
+		failed:    append([]bool(nil), g.failed...),
+		numFailed: g.numFailed,
+		topoEpoch: g.topoEpoch,
 	}
 	for v := range g.out {
 		c.out[v] = append([]ArcID(nil), g.out[v]...)

@@ -1,0 +1,50 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wavedag/internal/digraph"
+)
+
+// FaultEvent is one entry of a fault schedule: at time At the arc is
+// cut (Restore false) or repaired (Restore true). Times are in
+// arbitrary simulation units — the engine only cares about the order.
+type FaultEvent struct {
+	Restore bool
+	Arc     digraph.ArcID
+	At      float64
+}
+
+// FaultSchedule draws an alternating-renewal fiber fault process over
+// the arcs of g: each arc independently cycles up-down with
+// exponentially distributed up times (mean mtbf) and down times (mean
+// mttr), sampled out to the horizon. The merged, time-sorted event
+// stream is returned; per arc every restore follows its cut, so
+// replaying the schedule in order against FailArc/RestoreArc is always
+// valid. Deterministic given the seed.
+func FaultSchedule(g *digraph.Digraph, mtbf, mttr, horizon float64, seed int64) ([]FaultEvent, error) {
+	if mtbf <= 0 || mttr <= 0 {
+		return nil, fmt.Errorf("gen: fault schedule needs mtbf > 0 and mttr > 0, got %g and %g", mtbf, mttr)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("gen: fault schedule needs horizon > 0, got %g", horizon)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var events []FaultEvent
+	for a := 0; a < g.NumArcs(); a++ {
+		t := rng.ExpFloat64() * mtbf
+		for t < horizon {
+			events = append(events, FaultEvent{Arc: digraph.ArcID(a), At: t})
+			t += rng.ExpFloat64() * mttr
+			if t >= horizon {
+				break
+			}
+			events = append(events, FaultEvent{Restore: true, Arc: digraph.ArcID(a), At: t})
+			t += rng.ExpFloat64() * mtbf
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
+}

@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"testing"
+
+	"wavedag/internal/digraph"
+)
+
+func TestFaultScheduleValidAndDeterministic(t *testing.T) {
+	g, err := RandomNoInternalCycleDAG(20, 4, 4, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev1, err := FaultSchedule(g, 50, 10, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev1) == 0 {
+		t.Fatal("empty schedule at mtbf far below the horizon")
+	}
+	// Time-sorted, and per arc strictly alternating cut/restore starting
+	// with a cut — exactly what a FailArc/RestoreArc replay requires.
+	down := make(map[digraph.ArcID]bool)
+	last := 0.0
+	for i, ev := range ev1 {
+		if ev.At < last {
+			t.Fatalf("event %d out of order: %g after %g", i, ev.At, last)
+		}
+		last = ev.At
+		if ev.Restore == !down[ev.Arc] {
+			t.Fatalf("event %d: restore=%v on arc %d while down=%v", i, ev.Restore, ev.Arc, down[ev.Arc])
+		}
+		down[ev.Arc] = !ev.Restore
+		if ev.At < 0 || ev.At >= 500 {
+			t.Fatalf("event %d outside horizon: %g", i, ev.At)
+		}
+	}
+	// Deterministic given the seed; different seeds diverge.
+	ev2, err := FaultSchedule(g, 50, 10, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(ev1), len(ev2))
+	}
+	for i := range ev1 {
+		if ev1[i] != ev2[i] {
+			t.Fatalf("same seed diverged at event %d", i)
+		}
+	}
+	// Parameter validation.
+	if _, err := FaultSchedule(g, 0, 10, 500, 1); err == nil {
+		t.Fatal("mtbf=0 accepted")
+	}
+	if _, err := FaultSchedule(g, 50, -1, 500, 1); err == nil {
+		t.Fatal("negative mttr accepted")
+	}
+	if _, err := FaultSchedule(g, 50, 10, 0, 1); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}

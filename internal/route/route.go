@@ -95,6 +95,9 @@ func reachableSet(g *digraph.Digraph, src digraph.Vertex) []bool {
 	queue[0] = src
 	for head := 0; head < len(queue); head++ {
 		for _, a := range g.OutArcs(queue[head]) {
+			if g.ArcFailed(a) {
+				continue
+			}
 			h := g.Arc(a).Head
 			if !seen[h] {
 				seen[h] = true

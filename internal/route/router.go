@@ -19,17 +19,18 @@ import (
 type Router struct {
 	g *digraph.Digraph
 
-	// comp labels every vertex with its weakly connected component, so
-	// infeasible cross-component requests are rejected in O(1) instead
-	// of by an exhausted search (no dipath crosses components). The
-	// labels are computed lazily, the first time a search exhausts —
-	// one-shot routers never pay the O(V+A) labeling pass, persistent
-	// routers converge to O(1) rejection. compArcs records the arc
-	// count the labels were computed at: arcs added later could merge
-	// components, so a grown graph falls back to the full search until
-	// the next exhausted search refreshes the snapshot.
-	comp     []int32
-	compArcs int
+	// comp labels every vertex with its live weakly connected component
+	// (failed arcs excluded), so infeasible cross-component requests
+	// are rejected in O(1) instead of by an exhausted search (no dipath
+	// crosses components). The labels are computed lazily, the first
+	// time a search exhausts — one-shot routers never pay the O(V+A)
+	// labeling pass, persistent routers converge to O(1) rejection.
+	// compEpoch records the graph's topology epoch the labels were
+	// computed at: arcs added, failed or restored later change live
+	// connectivity, so a moved epoch falls back to the full search
+	// until the next exhausted search refreshes the snapshot.
+	comp      []int32
+	compEpoch uint64
 
 	// BFS state, valid where stamp[v] == epoch.
 	epoch   int
@@ -118,19 +119,20 @@ func (r *Router) Graph() *digraph.Digraph { return r.g }
 // field). False when no current snapshot exists — callers then search.
 func (r *Router) rejectCrossComponent(src, dst digraph.Vertex) bool {
 	return r.comp != nil &&
-		r.compArcs == r.g.NumArcs() &&
+		r.compEpoch == r.g.TopologyEpoch() &&
 		int(src) < len(r.comp) && int(dst) < len(r.comp) &&
 		r.comp[src] != r.comp[dst]
 }
 
 // noteExhausted records that a search just exhausted without reaching
-// its destination: the component labels are (re)computed — at most the
-// cost of the search that already ran — so the next infeasible request
-// on this router is rejected in O(1) instead of by another search.
+// its destination: the live component labels are (re)computed — at most
+// the cost of the search that already ran — so the next infeasible
+// request on this router is rejected in O(1) instead of by another
+// search.
 func (r *Router) noteExhausted() {
-	if r.comp == nil || r.compArcs != r.g.NumArcs() || len(r.comp) != r.g.NumVertices() {
-		r.comp = r.g.ComponentLabels()
-		r.compArcs = r.g.NumArcs()
+	if r.comp == nil || r.compEpoch != r.g.TopologyEpoch() || len(r.comp) != r.g.NumVertices() {
+		r.comp = r.g.LiveComponentLabels()
+		r.compEpoch = r.g.TopologyEpoch()
 	}
 }
 
@@ -171,6 +173,9 @@ func (r *Router) ShortestPath(src, dst digraph.Vertex) (*dipath.Path, error) {
 	for head := 0; head < len(r.queue); head++ {
 		v := r.queue[head]
 		for _, a := range g.OutArcs(v) {
+			if g.ArcFailed(a) {
+				continue
+			}
 			h := g.Arc(a).Head
 			if r.seen(h) {
 				continue
@@ -288,6 +293,9 @@ func (r *Router) MinLoadPath(req Request, t *load.Tracker) (*dipath.Path, error)
 		}
 		r.done[u] = true
 		for _, a := range g.OutArcs(u) {
+			if g.ArcFailed(a) {
+				continue
+			}
 			h := g.Arc(a).Head
 			if r.done[h] {
 				continue
@@ -322,6 +330,9 @@ func (r *Router) Multicast(origin digraph.Vertex, dests []digraph.Vertex) (dipat
 	for head := 0; head < len(r.queue); head++ {
 		v := r.queue[head]
 		for _, a := range g.OutArcs(v) {
+			if g.ArcFailed(a) {
+				continue
+			}
 			h := g.Arc(a).Head
 			if !r.seen(h) {
 				r.mark(h, a)
@@ -363,6 +374,9 @@ func (r *Router) AllToAll() []Request {
 		for head := 0; head < len(r.queue); head++ {
 			v := r.queue[head]
 			for _, a := range g.OutArcs(v) {
+				if g.ArcFailed(a) {
+					continue
+				}
 				h := g.Arc(a).Head
 				if !r.seen(h) {
 					r.mark(h, a)

@@ -1,6 +1,7 @@
 package wdm
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 
@@ -63,13 +64,27 @@ type Session struct {
 	entries []sessionEntry
 	freeIdx []int32
 	live    int
+
+	// Survivability (see survive.go): dark-parked entries, the storm
+	// retry budget, failure counters, the slot→entry reverse index the
+	// arc-incidence affected lookup resolves through, the lazily built
+	// detour router, and the engine's path-delta observer.
+	dark          int
+	darkSeq       uint64
+	stormRetries  int
+	failStats     FailureStats
+	slotEntry     []int32
+	stormRouter   *route.Router
+	pathDeltaHook func(add bool, p *dipath.Path)
 }
 
 type sessionEntry struct {
 	gen        uint32
 	alive      bool
 	bestEffort bool // admitted past the budget by the degrade strategy
+	dark       bool // parked by a restoration storm; excluded from λ/π
 	slot       int
+	darkAt     uint64 // park order stamp (oldest-first revival)
 	req        route.Request
 	path       *dipath.Path
 }
@@ -78,16 +93,23 @@ func packID(idx int32, gen uint32) SessionID {
 	return SessionID(uint64(gen)<<32 | uint64(uint32(idx)))
 }
 
+// ErrUnknownSession is the sentinel wrapped by every session lookup
+// failure — ids the session never issued, double-removed ids, and stale
+// ids whose slot was recycled under a newer generation. Operations
+// failing a lookup mutate no state, so callers may errors.Is on it and
+// carry on.
+var ErrUnknownSession = errors.New("no such live session id")
+
 // lookup resolves id to its live entry.
 func (s *Session) lookup(id SessionID) (*sessionEntry, error) {
 	idx := int64(uint32(id))
 	gen := uint32(uint64(id) >> 32)
 	if idx >= int64(len(s.entries)) {
-		return nil, fmt.Errorf("wdm: unknown session id %d", id)
+		return nil, fmt.Errorf("wdm: unknown session id %d: %w", id, ErrUnknownSession)
 	}
 	e := &s.entries[idx]
 	if !e.alive || e.gen != gen {
-		return nil, fmt.Errorf("wdm: session id %d is not live", id)
+		return nil, fmt.Errorf("wdm: session id %d: %w", id, ErrUnknownSession)
 	}
 	return e, nil
 }
@@ -100,6 +122,7 @@ type sessionConfig struct {
 	slack         int
 	capacity      int
 	budget        int
+	stormRetries  int // -1 = default (2 per affected path)
 	rollbackProbe bool
 }
 
@@ -219,6 +242,20 @@ func WithAdmissionStrategyName(name string) SessionOption {
 	}
 }
 
+// WithStormRetryBudget bounds the min-load detour retries one
+// restoration storm may spend across all its affected paths (see
+// Session.FailArc). n = 0 disables detours (primary reroute only);
+// n < 0 selects the default of two detours per affected path.
+func WithStormRetryBudget(n int) SessionOption {
+	return func(c *sessionConfig) error {
+		if n < 0 {
+			n = -1
+		}
+		c.stormRetries = n
+		return nil
+	}
+}
+
 // WithAdmissionRollbackProbe forces the general-DAG color-then-rollback
 // admission probe even on internal-cycle-free topologies. It exists as
 // the ablation axis of the admission benchmarks (pricing the Theorem-1
@@ -234,7 +271,7 @@ func WithAdmissionRollbackProbe() SessionOption {
 // NewSession opens a dynamic provisioning session on the network. The
 // defaults are shortest-path routing and incremental coloring.
 func (n *Network) NewSession(opts ...SessionOption) (*Session, error) {
-	cfg := sessionConfig{}
+	cfg := sessionConfig{stormRetries: -1}
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
 			return nil, err
@@ -276,6 +313,7 @@ func (n *Network) NewSession(opts ...SessionOption) (*Session, error) {
 		routingName:   cfg.routing.Name(),
 		coloringName:  cfg.coloring.Name(),
 		budget:        cfg.budget,
+		stormRetries:  cfg.stormRetries,
 		rollbackProbe: cfg.rollbackProbe,
 		entries:       make([]sessionEntry, 0, cfg.capacity),
 	}
@@ -372,6 +410,11 @@ func (s *Session) TryAdd(req route.Request) (SessionID, Admission, error) {
 	if err != nil {
 		return 0, Admission{}, fmt.Errorf("wdm: routing: %w", err)
 	}
+	if s.pathCrossesFailure(p) {
+		// Failure-blind strategies (UPP's unique routing) can propose a
+		// path over a cut fiber; to the caller that is no route.
+		return 0, Admission{}, fmt.Errorf("wdm: routing: %w", route.ErrNoRoute{Req: req})
+	}
 	return s.tryAdmit(req, p)
 }
 
@@ -387,6 +430,9 @@ func (s *Session) TryAddPath(p *dipath.Path) (SessionID, Admission, error) {
 	// p's arcs before any layer that would catch a foreign path.
 	if err := p.Validate(s.net.Topology); err != nil {
 		return 0, Admission{}, err
+	}
+	if s.pathCrossesFailure(p) {
+		return 0, Admission{}, fmt.Errorf("wdm: dipath crosses a failed arc")
 	}
 	return s.tryAdmit(route.Request{Src: p.First(), Dst: p.Last()}, p)
 }
@@ -488,7 +534,7 @@ func (s *Session) commitPath(req route.Request, p *dipath.Path, bestEffort bool)
 
 // insertEntry accounts p in the load tracker and allocates its entry.
 func (s *Session) insertEntry(req route.Request, p *dipath.Path, slot int, bestEffort bool) SessionID {
-	s.tracker.Add(p)
+	s.trackAdd(p)
 	var idx int32
 	if n := len(s.freeIdx); n > 0 {
 		idx = s.freeIdx[n-1]
@@ -499,6 +545,7 @@ func (s *Session) insertEntry(req route.Request, p *dipath.Path, slot int, bestE
 	}
 	e := &s.entries[idx]
 	e.alive, e.slot, e.req, e.path, e.bestEffort = true, slot, req, p, bestEffort
+	s.bindSlot(slot, idx)
 	if bestEffort {
 		s.bestEffortLive++
 	}
@@ -524,18 +571,28 @@ func (s *Session) enforceBudgetLambda() {
 }
 
 // Remove tears down the request with the given id, releasing its
-// wavelength and load.
+// wavelength and load. Removing a dark entry just discards it. Freed
+// capacity triggers the best-effort promotion and dark revival sweeps.
 func (s *Session) Remove(id SessionID) error {
 	e, err := s.lookup(id)
 	if err != nil {
 		return err
 	}
+	if e.dark {
+		// Dark entries hold no coloring or load; releasing the entry is
+		// the whole teardown.
+		s.release(id, e)
+		return nil
+	}
 	if err := s.coloring.Remove(e.slot); err != nil {
 		return err
 	}
-	s.tracker.Remove(e.path)
+	s.unbindSlot(e.slot)
+	s.trackRemove(e.path)
 	s.release(id, e)
+	s.promoteBestEffort()
 	s.enforceBudgetLambda()
+	s.reviveDark()
 	return nil
 }
 
@@ -545,32 +602,49 @@ func (s *Session) release(id SessionID, e *sessionEntry) {
 	e.alive = false
 	e.gen++
 	e.path = nil
+	if e.dark {
+		e.dark = false
+		e.darkAt = 0
+		s.dark--
+	} else {
+		s.live--
+	}
 	if e.bestEffort {
 		e.bestEffort = false
 		s.bestEffortLive--
 	}
 	s.freeIdx = append(s.freeIdx, int32(uint32(id)))
-	s.live--
 }
 
 // Reroute re-routes the request with the given id against the current
 // loads (excluding itself) and, when the route changes, reassigns its
-// wavelength. It reports whether the path changed.
+// wavelength. It reports whether the path changed. Rerouting a dark
+// entry is a revival attempt: true means it came back live.
 func (s *Session) Reroute(id SessionID) (bool, error) {
 	e, err := s.lookup(id)
 	if err != nil {
 		return false, err
 	}
+	if e.dark {
+		if s.reviveOne(int32(uint32(id)), e) {
+			s.enforceBudgetLambda()
+			return true, nil
+		}
+		return false, nil
+	}
 	// Route against the loads without this request, as a fresh arrival
 	// would see them.
-	s.tracker.Remove(e.path)
+	s.trackRemove(e.path)
 	p, err := s.routing.Route(e.req, s.tracker)
+	if err == nil && s.pathCrossesFailure(p) {
+		err = route.ErrNoRoute{Req: e.req} // failure-blind strategy routed over a cut
+	}
 	if err != nil {
-		s.tracker.Add(e.path) // restore
+		s.trackAdd(e.path) // restore
 		return false, fmt.Errorf("wdm: rerouting: %w", err)
 	}
 	if p.Equal(e.path) {
-		s.tracker.Add(e.path)
+		s.trackAdd(e.path)
 		return false, nil
 	}
 	// A budgeted session only switches to a route that itself passes
@@ -579,13 +653,15 @@ func (s *Session) Reroute(id SessionID) (bool, error) {
 	// the general-DAG probe is woven into the coloring swap below.
 	budgeted := s.budget > 0 && !e.bestEffort
 	if budgeted && s.cycleFree && !s.rollbackProbe && !s.tracker.FitsAdditional(p, s.budget) {
-		s.tracker.Add(e.path)
+		s.trackAdd(e.path)
 		return false, nil
 	}
 	if err := s.coloring.Remove(e.slot); err != nil {
-		s.tracker.Add(e.path)
+		s.trackAdd(e.path)
 		return false, err
 	}
+	s.unbindSlot(e.slot)
+	idx := int32(uint32(id))
 	var slot int
 	if budgeted && (!s.cycleFree || s.rollbackProbe) {
 		var ok bool
@@ -596,7 +672,8 @@ func (s *Session) Reroute(id SessionID) (bool, error) {
 			// re-enforces λ ≤ budget before reporting no change.
 			if oldSlot, restoreErr := s.coloring.Add(e.path); restoreErr == nil {
 				e.slot = oldSlot
-				s.tracker.Add(e.path)
+				s.bindSlot(oldSlot, idx)
+				s.trackAdd(e.path)
 				s.enforceBudgetLambda()
 				return false, nil
 			}
@@ -610,20 +687,24 @@ func (s *Session) Reroute(id SessionID) (bool, error) {
 		// Try to restore the old path; the session must stay consistent.
 		if oldSlot, restoreErr := s.coloring.Add(e.path); restoreErr == nil {
 			e.slot = oldSlot
-			s.tracker.Add(e.path)
+			s.bindSlot(oldSlot, idx)
+			s.trackAdd(e.path)
 			s.enforceBudgetLambda()
 			return false, fmt.Errorf("wdm: rerouting: %w", err)
 		}
 		s.release(id, e)
 		return false, fmt.Errorf("wdm: rerouting: %w (request %d dropped)", err, id)
 	}
-	s.tracker.Add(p)
+	s.trackAdd(p)
 	e.slot, e.path = slot, p
+	s.bindSlot(slot, idx)
 	s.enforceBudgetLambda()
 	return true, nil
 }
 
-// Path returns the current route of a live request.
+// Path returns the current route of a live request. For a dark entry
+// it returns the parked route — the last path the request held, which
+// may cross the failed arc that parked it.
 func (s *Session) Path(id SessionID) (*dipath.Path, error) {
 	e, err := s.lookup(id)
 	if err != nil {
@@ -633,35 +714,39 @@ func (s *Session) Path(id SessionID) (*dipath.Path, error) {
 }
 
 // Wavelength returns the current wavelength of a live request, or -1
-// when the session's coloring strategy defers assignment (see
-// Provisioning for the materialised answer).
+// when the request is parked dark or the session's coloring strategy
+// defers assignment (see Provisioning for the materialised answer).
 func (s *Session) Wavelength(id SessionID) (int, error) {
 	e, err := s.lookup(id)
 	if err != nil {
 		return -1, err
 	}
+	if e.dark {
+		return -1, nil
+	}
 	return s.coloring.Wavelength(e.slot), nil
 }
 
-// IDs returns the live session ids in slot order — a deterministic
+// IDs returns the lit session ids in slot order — a deterministic
 // order that equals arrival order until slots are recycled by Remove.
-// Provisioning and Verify materialise the live set in the same order.
+// Provisioning and Verify materialise the live set in the same order;
+// dark entries are excluded (see DarkIDs).
 func (s *Session) IDs() []SessionID {
 	ids := make([]SessionID, 0, s.live)
 	for idx := range s.entries {
-		if e := &s.entries[idx]; e.alive {
+		if e := &s.entries[idx]; e.alive && !e.dark {
 			ids = append(ids, packID(int32(idx), e.gen))
 		}
 	}
 	return ids
 }
 
-// snapshot materialises the live set in slot order (see IDs).
+// snapshot materialises the lit set in slot order (see IDs).
 func (s *Session) snapshot() (slots []int, fam dipath.Family) {
 	slots = make([]int, 0, s.live)
 	fam = make(dipath.Family, 0, s.live)
 	for idx := range s.entries {
-		if e := &s.entries[idx]; e.alive {
+		if e := &s.entries[idx]; e.alive && !e.dark {
 			slots = append(slots, e.slot)
 			fam = append(fam, e.path)
 		}

@@ -126,9 +126,17 @@ type ShardedEngine struct {
 	shards  []*engineShard   // flattened executable units; ShardedID.Shard indexes this
 	label   []int32          // global vertex -> owning component
 	localV  []digraph.Vertex // global vertex -> vertex inside its component's view
+	arcComp []int32          // global arc -> owning component
+	arcLoc  []digraph.ArcID  // global arc -> arc inside its component's view
 	workers int
 	pool    *workerPool
 	closed  bool
+
+	// Engine-level failure counters (per-lane detail lives in the
+	// sessions' FailureStats; see Stats).
+	cuts       int
+	restores   int
+	stormNanos int64
 
 	// Wavelength budget (0 = unlimited) and the per-component overlay
 	// band it reserves on two-level components; see
@@ -199,6 +207,12 @@ type engineComponent struct {
 	regions      *digraph.Regions
 	regionShards []*engineShard
 	overlay      *engineShard
+
+	// liveLabel relabels the component's vertices by live connectivity
+	// while any of its arcs is cut — the incremental re-shard a failure
+	// induces: pairs the cut split are rejected in O(1) at dispatch, and
+	// the label is dropped (nil) when the last cut heals. nil = intact.
+	liveLabel []int32
 }
 
 func (c *engineComponent) twoLevel() bool { return c.plain == nil }
@@ -400,6 +414,26 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 		}
 		e.comps = append(e.comps, comp)
 	}
+	// Inverse arc maps for O(1) failure dispatch, and the path-delta
+	// hooks through which region/overlay lanes log every tracker
+	// mutation — batch ops and storm reroutes alike — for the two-level
+	// reconciliation.
+	e.arcComp = make([]int32, n.Topology.NumArcs())
+	e.arcLoc = make([]digraph.ArcID, n.Topology.NumArcs())
+	for _, c := range e.comps {
+		for la, ga := range c.view.ToGlobalArc {
+			e.arcComp[ga] = c.idx
+			e.arcLoc[ga] = digraph.ArcID(la)
+		}
+	}
+	for _, sh := range e.shards {
+		if sh.kind != shardPlain {
+			sh := sh
+			sh.sess.setPathDeltaHook(func(add bool, p *dipath.Path) {
+				sh.deltas = append(sh.deltas, shardDelta{add: add, path: p})
+			})
+		}
+	}
 	// The pool starts last: constructor error paths leak no goroutines.
 	if e.workers > 1 {
 		e.pool = newWorkerPool(e.workers - 1)
@@ -449,6 +483,15 @@ type LaneStats struct {
 	BestEffort int
 	Retried    int
 	Live       int
+
+	// Failure counters: cumulative storm outcomes and current parked
+	// occupancy for this lane flavour.
+	Affected int // live paths hit by fiber cuts
+	Restored int // paths rerouted by restoration storms
+	Parked   int // paths parked dark (unrestorable at cut time)
+	Revived  int // dark entries brought back by re-admission sweeps
+	Promoted int // best-effort entries upgraded to budgeted service
+	Dark     int // entries currently parked dark
 }
 
 func (l *LaneStats) add(s *Session) {
@@ -459,6 +502,13 @@ func (l *LaneStats) add(s *Session) {
 	l.BestEffort += st.BestEffort
 	l.Retried += st.Retried
 	l.Live += s.Len()
+	fs := s.FailureStats()
+	l.Affected += fs.Affected
+	l.Restored += fs.Restored
+	l.Parked += fs.Parked
+	l.Revived += fs.Revived
+	l.Promoted += fs.Promoted
+	l.Dark += s.DarkLive()
 }
 
 // EngineStats summarises the engine layout, the two-level lanes'
@@ -473,6 +523,11 @@ type EngineStats struct {
 	OverlayLive  int // live requests across all overlay lanes
 
 	Budget int // engine wavelength budget (0 = unlimited)
+
+	Cuts       int   // fiber cuts injected via FailArc
+	Restores   int   // repairs applied via RestoreArc
+	FailedArcs int   // arcs currently cut
+	StormNanos int64 // cumulative wall time spent inside restoration storms
 
 	Plain   LaneStats // whole-component shards
 	Region  LaneStats // region lanes of two-level components
@@ -494,12 +549,29 @@ func (st EngineStats) Rejected() int {
 	return st.Plain.Rejected + st.Region.Rejected + st.Overlay.Rejected
 }
 
+// Dark returns the entries currently parked dark across all lanes.
+func (st EngineStats) Dark() int {
+	return st.Plain.Dark + st.Region.Dark + st.Overlay.Dark
+}
+
+// Restored returns the total storm restorations across all lanes.
+func (st EngineStats) Restored() int {
+	return st.Plain.Restored + st.Region.Restored + st.Overlay.Restored
+}
+
 // Stats reports the engine layout, overlay occupancy and per-lane
 // traffic shares.
 func (e *ShardedEngine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	st := EngineStats{Components: len(e.comps), Budget: e.budget}
+	st := EngineStats{
+		Components: len(e.comps),
+		Budget:     e.budget,
+		Cuts:       e.cuts,
+		Restores:   e.restores,
+		FailedArcs: e.net.Topology.NumFailedArcs(),
+		StormNanos: e.stormNanos,
+	}
 	for _, c := range e.comps {
 		if c.twoLevel() {
 			st.TwoLevel++
@@ -573,6 +645,12 @@ func (e *ShardedEngine) dispatchAdd(req route.Request) (*engineShard, route.Requ
 	}
 	c := e.comps[ci]
 	lsrc, ldst := e.localV[req.Src], e.localV[req.Dst]
+	if ll := c.liveLabel; ll != nil && ll[lsrc] != ll[ldst] {
+		// A fiber cut split the component: the pair is unroutable until
+		// the cut heals, and the O(1) answer here is what a full search
+		// inside the component would exhaust itself reaching.
+		return nil, req, route.ErrNoRoute{Req: req}
+	}
 	if !c.twoLevel() {
 		return c.plain, route.Request{Src: lsrc, Dst: ldst}, nil
 	}
@@ -611,19 +689,12 @@ func (sh *engineShard) globalizeErr(prefix string, err error) error {
 	}})
 }
 
-// livePath returns the shard-local path of a live id, or nil.
-func (sh *engineShard) livePath(id SessionID) *dipath.Path {
-	ent, err := sh.sess.lookup(id)
-	if err != nil {
-		return nil
-	}
-	return ent.path
-}
-
 // apply executes one op against the shard. Called by at most one worker
 // per shard at a time. lreq is the shard-local request (BatchAdd only).
-// Region and overlay lanes log the path deltas the phase-2 tracker
-// reconciliation replays.
+// Region and overlay lanes log the path deltas for the phase-2 tracker
+// reconciliation through their session's path-delta hook — every
+// tracker mutation (op-driven or storm-driven) lands in sh.deltas, so
+// apply itself no longer captures before/after paths.
 func (sh *engineShard) apply(e *ShardedEngine, op BatchOp, lreq route.Request) BatchResult {
 	switch op.Kind {
 	case BatchAdd:
@@ -631,38 +702,11 @@ func (sh *engineShard) apply(e *ShardedEngine, op BatchOp, lreq route.Request) B
 		if err != nil {
 			return BatchResult{Err: sh.globalizeErr("wdm: routing", err)}
 		}
-		if sh.kind != shardPlain {
-			sh.deltas = append(sh.deltas, shardDelta{add: true, path: sh.livePath(id)})
-		}
 		return BatchResult{ID: ShardedID{Shard: sh.idx, ID: id}}
 	case BatchRemove:
-		var old *dipath.Path
-		if sh.kind != shardPlain {
-			old = sh.livePath(op.ID.ID)
-		}
-		err := sh.sess.Remove(op.ID.ID)
-		if err == nil && old != nil {
-			sh.deltas = append(sh.deltas, shardDelta{path: old})
-		}
-		return BatchResult{ID: op.ID, Err: err}
+		return BatchResult{ID: op.ID, Err: sh.sess.Remove(op.ID.ID)}
 	case BatchReroute:
-		var old *dipath.Path
-		if sh.kind != shardPlain {
-			old = sh.livePath(op.ID.ID)
-		}
 		changed, err := sh.sess.Reroute(op.ID.ID)
-		if sh.kind != shardPlain && old != nil {
-			switch {
-			case err == nil && changed:
-				sh.deltas = append(sh.deltas,
-					shardDelta{path: old},
-					shardDelta{add: true, path: sh.livePath(op.ID.ID)})
-			case err != nil && sh.livePath(op.ID.ID) == nil:
-				// The failure path could not restore the old slot and
-				// dropped the request: reconcile the removal.
-				sh.deltas = append(sh.deltas, shardDelta{path: old})
-			}
-		}
 		if err != nil {
 			err = sh.globalizeErr("wdm: rerouting", err)
 		}
@@ -780,6 +824,19 @@ func (e *ShardedEngine) group(ops []BatchOp, results []BatchResult) (p1, p2 []in
 // region lane keeps the exact loads on its own arcs for min-load
 // routing and π.
 func (c *engineComponent) overlayPhase(e *ShardedEngine, ops []BatchOp, results []BatchResult) {
+	c.foldRegionDeltas()
+	for _, so := range c.overlay.ops {
+		results[so.idx] = c.overlay.apply(e, ops[so.idx], so.req)
+	}
+	c.overlay.ops = c.overlay.ops[:0]
+	c.scatterOverlayDeltas()
+}
+
+// foldRegionDeltas replays the region lanes' logged path deltas into
+// the overlay tracker, restoring it to the component's exact combined
+// load view. Shared by the batch phase-2 task and the failure dispatch
+// (storms mutate region lanes through the same hook batch ops do).
+func (c *engineComponent) foldRegionDeltas() {
 	ot := c.overlay.sess.tracker
 	for _, rs := range c.regionShards {
 		for _, d := range rs.deltas {
@@ -793,10 +850,12 @@ func (c *engineComponent) overlayPhase(e *ShardedEngine, ops []BatchOp, results 
 		}
 		rs.deltas = rs.deltas[:0]
 	}
-	for _, so := range c.overlay.ops {
-		results[so.idx] = c.overlay.apply(e, ops[so.idx], so.req)
-	}
-	c.overlay.ops = c.overlay.ops[:0]
+}
+
+// scatterOverlayDeltas replays the overlay lane's logged path deltas
+// into the region trackers, so every region lane keeps the exact loads
+// on its own arcs.
+func (c *engineComponent) scatterOverlayDeltas() {
 	for _, d := range c.overlay.deltas {
 		for _, a := range d.path.Arcs() {
 			rs := c.regionShards[c.regions.ArcRegion[a]]

@@ -1,0 +1,213 @@
+package wdm
+
+import (
+	"fmt"
+	"time"
+
+	"wavedag/internal/digraph"
+)
+
+// This file is the engine half of the survivability layer: fiber cuts
+// dispatched to the owning shard, restoration storms sequenced through
+// the two-level reconciliation, incremental re-sharding of split
+// components via live labels, and the failure counters Stats reports.
+
+// Revive runs a re-admission sweep outside any failure event: dark
+// entries are retried oldest-first and best-effort traffic re-promoted,
+// exactly as after RestoreArc. It returns how many entries came back.
+func (s *Session) Revive() int {
+	revived := s.reviveDark()
+	s.promoteBestEffort()
+	return revived
+}
+
+// FailArc cuts an arc of the engine topology and runs the restoration
+// storm on the owning component. Plain components storm on their single
+// session; a two-level component storms the owning region lane first,
+// folds its deltas into the overlay tracker, storms the overlay lane
+// (whose paths may also cross the arc), scatters the overlay deltas
+// back, and gives region dark entries a cross-lane revival chance. The
+// component's live labels are refreshed, so requests a split made
+// unroutable are rejected in O(1) at dispatch. Cutting an unknown or
+// already-cut arc is an error with no state change; after Close it
+// returns ErrEngineClosed.
+func (e *ShardedEngine) FailArc(a digraph.ArcID) (StormReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return StormReport{}, ErrEngineClosed
+	}
+	g := e.net.Topology
+	if a < 0 || int(a) >= g.NumArcs() {
+		return StormReport{}, fmt.Errorf("wdm: arc %d out of range [0,%d)", a, g.NumArcs())
+	}
+	if err := g.FailArc(a); err != nil {
+		return StormReport{}, err
+	}
+	start := time.Now()
+	c := e.comps[e.arcComp[a]]
+	ca := e.arcLoc[a]
+	var rep StormReport
+	if !c.twoLevel() {
+		r, err := c.plain.sess.FailArc(ca)
+		if err != nil {
+			return StormReport{}, fmt.Errorf("wdm: component %d: %w", c.idx, err)
+		}
+		rep = r
+	} else {
+		rs := c.regionShards[c.regions.ArcRegion[ca]]
+		rrep, err := rs.sess.FailArc(c.regions.LocalArc[ca])
+		if err != nil {
+			return StormReport{}, fmt.Errorf("wdm: component %d region: %w", c.idx, err)
+		}
+		c.foldRegionDeltas()
+		orep, err := c.overlay.sess.FailArc(ca)
+		if err != nil {
+			return StormReport{}, fmt.Errorf("wdm: component %d overlay: %w", c.idx, err)
+		}
+		c.scatterOverlayDeltas()
+		c.crossLaneRevive()
+		rep = StormReport{
+			Affected: rrep.Affected + orep.Affected,
+			Restored: rrep.Restored + orep.Restored,
+			Parked:   rrep.Parked + orep.Parked,
+			Retries:  rrep.Retries + orep.Retries,
+		}
+	}
+	c.refreshLiveLabel()
+	e.cuts++
+	e.stormNanos += time.Since(start).Nanoseconds()
+	return rep, nil
+}
+
+// RestoreArc repairs a cut arc and runs the re-admission sweeps on the
+// owning component's lanes (region first, overlay after the fold, with
+// a cross-lane revival chance at the end), then refreshes the live
+// labels. It returns how many dark entries revived. Restoring an
+// unknown or uncut arc is an error with no state change; after Close it
+// returns ErrEngineClosed.
+func (e *ShardedEngine) RestoreArc(a digraph.ArcID) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrEngineClosed
+	}
+	g := e.net.Topology
+	if a < 0 || int(a) >= g.NumArcs() {
+		return 0, fmt.Errorf("wdm: arc %d out of range [0,%d)", a, g.NumArcs())
+	}
+	if err := g.RestoreArc(a); err != nil {
+		return 0, err
+	}
+	c := e.comps[e.arcComp[a]]
+	ca := e.arcLoc[a]
+	revived := 0
+	if !c.twoLevel() {
+		n, err := c.plain.sess.RestoreArc(ca)
+		if err != nil {
+			return 0, fmt.Errorf("wdm: component %d: %w", c.idx, err)
+		}
+		revived = n
+	} else {
+		rs := c.regionShards[c.regions.ArcRegion[ca]]
+		n1, err := rs.sess.RestoreArc(c.regions.LocalArc[ca])
+		if err != nil {
+			return 0, fmt.Errorf("wdm: component %d region: %w", c.idx, err)
+		}
+		c.foldRegionDeltas()
+		n2, err := c.overlay.sess.RestoreArc(ca)
+		if err != nil {
+			return 0, fmt.Errorf("wdm: component %d overlay: %w", c.idx, err)
+		}
+		c.scatterOverlayDeltas()
+		revived = n1 + n2 + c.crossLaneRevive()
+	}
+	c.refreshLiveLabel()
+	e.restores++
+	return revived, nil
+}
+
+// Revive runs the re-admission sweep across every lane on demand:
+// removals already revive within their own lane, but capacity freed in
+// one lane of a two-level component can unblock dark entries of
+// another, and only failure events sweep across lanes — this is the
+// explicit trigger. It returns how many entries came back; after Close
+// it returns ErrEngineClosed.
+func (e *ShardedEngine) Revive() (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrEngineClosed
+	}
+	revived := 0
+	for _, c := range e.comps {
+		if !c.twoLevel() {
+			revived += c.plain.sess.Revive()
+			continue
+		}
+		n := c.crossLaneRevive()
+		n2 := c.overlay.sess.Revive()
+		c.scatterOverlayDeltas()
+		revived += n + n2
+	}
+	return revived, nil
+}
+
+// crossLaneRevive gives a two-level component's region dark entries a
+// revival chance after the overlay lane mutated: overlay parks or
+// teardowns free capacity the region sweeps could not see when they
+// last ran. Revived paths' deltas fold back into the overlay tracker so
+// it stays the exact combined view.
+func (c *engineComponent) crossLaneRevive() int {
+	revived := 0
+	for _, rs := range c.regionShards {
+		if rs.sess.DarkLive() > 0 {
+			revived += rs.sess.Revive()
+		}
+	}
+	if revived > 0 {
+		c.foldRegionDeltas()
+	}
+	return revived
+}
+
+// refreshLiveLabel recomputes the component's live connectivity labels
+// after a cut or repair; an intact component drops them (nil), keeping
+// the unfailed dispatch path exactly as cheap as before.
+func (c *engineComponent) refreshLiveLabel() {
+	if c.view.G.NumFailedArcs() == 0 {
+		c.liveLabel = nil
+		return
+	}
+	c.liveLabel = c.view.G.LiveComponentLabels()
+}
+
+// NumFailedArcs reports how many arcs of the engine topology are
+// currently cut.
+func (e *ShardedEngine) NumFailedArcs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.net.Topology.NumFailedArcs()
+}
+
+// DarkLive returns the number of entries parked dark across all lanes.
+func (e *ShardedEngine) DarkLive() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := 0
+	for _, sh := range e.shards {
+		total += sh.sess.DarkLive()
+	}
+	return total
+}
+
+// IsDark reports whether the request id is currently parked dark.
+func (e *ShardedEngine) IsDark(id ShardedID) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sh, err := e.shardOf(id)
+	if err != nil {
+		return false, err
+	}
+	return sh.sess.IsDark(id.ID)
+}

@@ -293,6 +293,13 @@ func (s *incrementalState) AddUnderLimit(p *dipath.Path, limit int) (int, bool, 
 
 func (s *incrementalState) EnsureAtMost(limit int) int { return s.ic.EnsureAtMost(limit) }
 
+// ForEachSlotOnArc implements ArcIncidenceState through the conflict
+// layer's per-arc incidence, so FailArc finds the paths hit by a cut in
+// O(affected).
+func (s *incrementalState) ForEachSlotOnArc(a digraph.ArcID, f func(slot int)) {
+	s.ic.Dynamic().ForEachOnArc(a, f)
+}
+
 // fullColoring defers all wavelength assignment to a from-scratch
 // ColorDAG run: Add and Remove only track the live set, and Assignment
 // (or NumLambda) runs the strongest applicable theorem on the snapshot.

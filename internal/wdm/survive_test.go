@@ -1,0 +1,854 @@
+package wdm
+
+// Survivability tests: fiber-cut storms, dark parking and revival on
+// the session and the sharded engine; the best-effort re-promotion
+// regression; stale-id hardening (zero mutation on unknown ids); Close
+// racing ApplyBatch/FailArc; and the randomized fault-schedule churn
+// acceptance run (Verify-clean, λ ≤ w, no dark entry left on a live
+// in-budget route after any event).
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"wavedag/internal/digraph"
+	"wavedag/internal/dipath"
+	"wavedag/internal/route"
+)
+
+func TestSessionFailArcStormRestores(t *testing.T) {
+	g, v := diamond(t)
+	net := &Network{Topology: g}
+	sess, err := net.NewSession(WithWavelengthBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sess.Add(route.Request{Src: v[0], Dst: v[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.Path(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := p.Arcs()[0]
+	rep, err := sess.FailArc(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != 1 || rep.Restored != 1 || rep.Parked != 0 {
+		t.Fatalf("storm report %+v", rep)
+	}
+	// The storm moved the path onto the surviving branch.
+	np, err := sess.Path(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range np.Arcs() {
+		if g.ArcFailed(a) {
+			t.Fatalf("restored route crosses the failed arc")
+		}
+	}
+	if sess.Len() != 1 || sess.DarkLive() != 0 {
+		t.Fatalf("len=%d dark=%d", sess.Len(), sess.DarkLive())
+	}
+	if n, err := sess.NumLambda(); err != nil || n > 1 {
+		t.Fatalf("λ=%d (%v)", n, err)
+	}
+	if err := sess.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Cutting an already-failed arc is an error with no state change.
+	if _, err := sess.FailArc(cut); err == nil {
+		t.Fatal("double cut succeeded")
+	}
+}
+
+func TestSessionFailArcParksAndRevives(t *testing.T) {
+	g, v := diamond(t)
+	net := &Network{Topology: g}
+	sess, err := net.NewSession(WithWavelengthBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sess.Add(route.Request{Src: v[0], Dst: v[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut both branches: nothing to restore onto.
+	if _, err := sess.FailArc(digraph.ArcID(0)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.FailArc(digraph.ArcID(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != 1 || rep.Restored != 0 || rep.Parked != 1 {
+		t.Fatalf("storm report %+v", rep)
+	}
+	// Parked, not dropped: excluded from the live view but addressable.
+	if dark, err := sess.IsDark(id); err != nil || !dark {
+		t.Fatalf("IsDark = %v, %v", dark, err)
+	}
+	if sess.Len() != 0 || sess.DarkLive() != 1 || sess.Pi() != 0 {
+		t.Fatalf("len=%d dark=%d π=%d", sess.Len(), sess.DarkLive(), sess.Pi())
+	}
+	if w, err := sess.Wavelength(id); err != nil || w != -1 {
+		t.Fatalf("dark wavelength = %d, %v", w, err)
+	}
+	if ids := sess.IDs(); len(ids) != 0 {
+		t.Fatalf("dark id leaked into IDs: %v", ids)
+	}
+	if ids := sess.DarkIDs(); len(ids) != 1 || ids[0] != id {
+		t.Fatalf("DarkIDs = %v", ids)
+	}
+	if n, err := sess.NumLambda(); err != nil || n != 0 {
+		t.Fatalf("λ=%d (%v)", n, err)
+	}
+	if err := sess.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Repairing one branch revives it oldest-first.
+	revived, err := sess.RestoreArc(digraph.ArcID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revived != 1 {
+		t.Fatalf("revived = %d", revived)
+	}
+	if dark, _ := sess.IsDark(id); dark {
+		t.Fatal("still dark after repair")
+	}
+	if sess.Len() != 1 || sess.DarkLive() != 0 {
+		t.Fatalf("len=%d dark=%d", sess.Len(), sess.DarkLive())
+	}
+	fs := sess.FailureStats()
+	if fs.Cuts != 2 || fs.Restores != 1 || fs.Parked != 1 || fs.Revived != 1 {
+		t.Fatalf("failure stats %+v", fs)
+	}
+	if err := sess.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionRemoveDarkEntry(t *testing.T) {
+	g, v := diamond(t)
+	net := &Network{Topology: g}
+	sess, err := net.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sess.Add(route.Request{Src: v[0], Dst: v[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.FailArc(digraph.ArcID(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.FailArc(digraph.ArcID(2)); err != nil {
+		t.Fatal(err)
+	}
+	if sess.DarkLive() != 1 {
+		t.Fatalf("dark = %d", sess.DarkLive())
+	}
+	// A dark entry can be torn down like any other request.
+	if err := sess.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	if sess.DarkLive() != 0 || sess.Len() != 0 {
+		t.Fatalf("dark=%d len=%d after remove", sess.DarkLive(), sess.Len())
+	}
+	// And it is gone: the id no longer resolves.
+	if err := sess.Remove(id); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("removed dark id resolves: %v", err)
+	}
+}
+
+// TestPromoteBestEffortOnRemove is the re-promotion regression: a
+// degrade-admitted best-effort path must upgrade to budgeted service
+// when a teardown brings λ back within the budget — it used to stay
+// best-effort forever.
+func TestPromoteBestEffortOnRemove(t *testing.T) {
+	g, v := diamond(t)
+	net := &Network{Topology: g}
+	sess, err := net.NewSession(
+		WithWavelengthBudget(1),
+		WithAdmissionStrategyName(AdmissionDegrade),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dipath.MustFromVertices(g, v[0], v[1], v[3])
+	id1, adm, err := sess.TryAddPath(p)
+	if err != nil || !adm.Accepted || adm.BestEffort {
+		t.Fatalf("first offer: %+v %v", adm, err)
+	}
+	id2, adm, err := sess.TryAddPath(p)
+	if err != nil || !adm.Accepted || !adm.BestEffort {
+		t.Fatalf("degraded offer: %+v %v", adm, err)
+	}
+	if sess.BestEffortLive() != 1 {
+		t.Fatalf("BestEffortLive = %d", sess.BestEffortLive())
+	}
+	// Tear down the budgeted path: headroom returns, so the sweep must
+	// promote the best-effort entry and restore the λ ≤ w guarantee.
+	if err := sess.Remove(id1); err != nil {
+		t.Fatal(err)
+	}
+	if sess.BestEffortLive() != 0 {
+		t.Fatalf("BestEffortLive = %d after headroom returned", sess.BestEffortLive())
+	}
+	if be, err := sess.IsBestEffort(id2); err != nil || be {
+		t.Fatalf("IsBestEffort = %v, %v", be, err)
+	}
+	if n, err := sess.NumLambda(); err != nil || n > 1 {
+		t.Fatalf("λ=%d past budget after promotion (%v)", n, err)
+	}
+	if fs := sess.FailureStats(); fs.Promoted != 1 {
+		t.Fatalf("Promoted = %d", fs.Promoted)
+	}
+	if err := sess.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sessionDigest captures every observable of a session the stale-id
+// hardening promises not to mutate.
+func sessionDigest(t *testing.T, s *Session) string {
+	t.Helper()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "len=%d pi=%d dark=%d be=%d", s.Len(), s.Pi(), s.DarkLive(), s.BestEffortLive())
+	if n, err := s.NumLambda(); err == nil {
+		fmt.Fprintf(&sb, " λ=%d", n)
+	}
+	fmt.Fprintf(&sb, " loads=%v ids=%v", s.ArcLoads(), s.IDs())
+	return sb.String()
+}
+
+func TestStaleSessionIDCleanErrors(t *testing.T) {
+	g, v := diamond(t)
+	net := &Network{Topology: g}
+	sess, err := net.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := sess.Add(route.Request{Src: v[0], Dst: v[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Add(route.Request{Src: v[0], Dst: v[3]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Remove(id1); err != nil {
+		t.Fatal(err)
+	}
+	// Recycle id1's slot: the new request reuses the index under a new
+	// generation, so the stale id must not alias it.
+	id3, err := sess.Add(route.Request{Src: v[0], Dst: v[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id1 {
+		t.Fatalf("recycled id %d not generation-stamped", id3)
+	}
+	before := sessionDigest(t, sess)
+	for name, call := range map[string]func() error{
+		"Remove":     func() error { return sess.Remove(id1) },
+		"Reroute":    func() error { _, err := sess.Reroute(id1); return err },
+		"Path":       func() error { _, err := sess.Path(id1); return err },
+		"Wavelength": func() error { _, err := sess.Wavelength(id1); return err },
+		"IsDark":     func() error { _, err := sess.IsDark(id1); return err },
+		"never-issued": func() error {
+			return sess.Remove(SessionID(1 << 40)) // generation never issued
+		},
+	} {
+		if err := call(); !errors.Is(err, ErrUnknownSession) {
+			t.Fatalf("%s(stale) = %v, want ErrUnknownSession", name, err)
+		}
+		if after := sessionDigest(t, sess); after != before {
+			t.Fatalf("%s(stale) mutated state:\n before %s\n after  %s", name, before, after)
+		}
+	}
+	if err := sess.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleShardedIDCleanErrors(t *testing.T) {
+	net := multiComponentNetwork(t, 3, 91)
+	eng, err := net.NewShardedEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	pool := route.NewRouter(net.Topology).AllToAll()
+	var ids []ShardedID
+	for i := 0; i < 8; i++ {
+		id, err := eng.Add(pool[i*3%len(pool)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	stale := ids[2]
+	if err := eng.Remove(stale); err != nil {
+		t.Fatal(err)
+	}
+	// Recycle the slot under a new generation.
+	if _, err := eng.Add(pool[6]); err != nil {
+		t.Fatal(err)
+	}
+	digest := func() string {
+		n, err := eng.NumLambda()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("len=%d pi=%d dark=%d λ=%d loads=%v",
+			eng.Len(), eng.Pi(), eng.DarkLive(), n, eng.ArcLoads())
+	}
+	before := digest()
+	for name, call := range map[string]func() error{
+		"Remove":  func() error { return eng.Remove(stale) },
+		"Reroute": func() error { _, err := eng.Reroute(stale); return err },
+		"Path":    func() error { _, err := eng.Path(stale); return err },
+		"IsDark":  func() error { _, err := eng.IsDark(stale); return err },
+	} {
+		if err := call(); !errors.Is(err, ErrUnknownSession) {
+			t.Fatalf("%s(stale) = %v, want ErrUnknownSession", name, err)
+		}
+		if after := digest(); after != before {
+			t.Fatalf("%s(stale) mutated state:\n before %s\n after  %s", name, before, after)
+		}
+	}
+	// Batched removes report the same sentinel per-op.
+	res := eng.ApplyBatch([]BatchOp{RemoveOp(stale)})
+	if len(res) != 1 || !errors.Is(res[0].Err, ErrUnknownSession) {
+		t.Fatalf("batched stale remove: %+v", res)
+	}
+	if after := digest(); after != before {
+		t.Fatalf("batched stale remove mutated state")
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineFailArcPlainComponent(t *testing.T) {
+	net := multiComponentNetwork(t, 3, 77)
+	eng, err := net.NewShardedEngine(WithEngineWavelengthBudget(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	pool := route.NewRouter(net.Topology).AllToAll()
+	var ids []ShardedID
+	for i := 0; i < len(pool) && len(ids) < 24; i += 3 {
+		id, err := eng.Add(pool[i])
+		if err == nil {
+			ids = append(ids, id)
+		} else if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatal(err)
+		}
+	}
+	// Cut the most loaded arc: its paths must restore or park, never
+	// vanish, and the live assignment must stay proper and in budget.
+	loads := eng.ArcLoads()
+	cut, best := digraph.ArcID(0), -1
+	for a, l := range loads {
+		if l > best {
+			cut, best = digraph.ArcID(a), l
+		}
+	}
+	rep, err := eng.FailArc(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != best {
+		t.Fatalf("affected %d, want %d", rep.Affected, best)
+	}
+	if rep.Restored+rep.Parked != rep.Affected {
+		t.Fatalf("storm lost paths: %+v", rep)
+	}
+	if eng.Len()+eng.DarkLive() != len(ids) {
+		t.Fatalf("live %d + dark %d != %d", eng.Len(), eng.DarkLive(), len(ids))
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := eng.NumLambda(); err != nil || n > 4 {
+		t.Fatalf("λ=%d (%v)", n, err)
+	}
+	if eng.NumFailedArcs() != 1 {
+		t.Fatalf("failed arcs = %d", eng.NumFailedArcs())
+	}
+	st := eng.Stats()
+	if st.Cuts != 1 || st.FailedArcs != 1 || st.Plain.Affected != rep.Affected {
+		t.Fatalf("engine stats %+v", st)
+	}
+	// Repair: every dark entry comes back (capacity allowing) and the
+	// failure counters settle.
+	revived, err := eng.RestoreArc(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revived != rep.Parked {
+		t.Fatalf("revived %d of %d parked", revived, rep.Parked)
+	}
+	if eng.DarkLive() != 0 || eng.Len() != len(ids) {
+		t.Fatalf("dark=%d len=%d after repair", eng.DarkLive(), eng.Len())
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown and double-restore arcs are clean errors.
+	if _, err := eng.FailArc(digraph.ArcID(-1)); err == nil {
+		t.Fatal("negative arc accepted")
+	}
+	if _, err := eng.RestoreArc(cut); err == nil {
+		t.Fatal("double restore accepted")
+	}
+}
+
+// TestEngineFailArcSplitsComponent pins the incremental re-shard: a cut
+// that disconnects a component's only route between two vertices must
+// reject requests for that pair in O(1) at dispatch, and the repair
+// must make them routable again.
+func TestEngineFailArcSplitsComponent(t *testing.T) {
+	// 0 -> 1 -> 2: a path component; cutting 1->2 splits it.
+	g := digraph.New(3)
+	g.MustAddArc(0, 1)
+	bridge := g.MustAddArc(1, 2)
+	net := &Network{Topology: g}
+	eng, err := net.NewShardedEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.FailArc(bridge); err != nil {
+		t.Fatal(err)
+	}
+	var nr route.ErrNoRoute
+	if _, err := eng.Add(route.Request{Src: 0, Dst: 2}); !errors.As(err, &nr) {
+		t.Fatalf("split-pair add: %v, want ErrNoRoute", err)
+	}
+	// The surviving half keeps admitting.
+	if _, err := eng.Add(route.Request{Src: 0, Dst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RestoreArc(bridge); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Add(route.Request{Src: 0, Dst: 2}); err != nil {
+		t.Fatalf("post-repair add: %v", err)
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoLevelEngineFailArc(t *testing.T) {
+	net := giantComponentNetwork(t, 3, 811)
+	eng := twoLevelEngine(t, net, WithEngineWavelengthBudget(6))
+	defer eng.Close()
+	pool := route.NewRouter(net.Topology).AllToAll()
+	var ids []ShardedID
+	for i := 0; i < len(pool) && len(ids) < 40; i += 2 {
+		id, err := eng.Add(pool[i])
+		if err == nil {
+			ids = append(ids, id)
+		} else if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatal(err)
+		}
+	}
+	total := len(ids)
+	if st := eng.Stats(); st.TwoLevel == 0 {
+		t.Fatal("topology did not produce a two-level component")
+	}
+	// Cut every third arc, checking the reconciled two-level state after
+	// each storm; then heal in reverse order.
+	var cuts []digraph.ArcID
+	for a := 0; a < net.Topology.NumArcs(); a += 3 {
+		cuts = append(cuts, digraph.ArcID(a))
+	}
+	for _, a := range cuts {
+		rep, err := eng.FailArc(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Restored+rep.Parked != rep.Affected {
+			t.Fatalf("cut %d lost paths: %+v", a, rep)
+		}
+		if err := eng.Verify(); err != nil {
+			t.Fatalf("cut %d: %v", a, err)
+		}
+		if n, err := eng.NumLambda(); err != nil || n > 6 {
+			t.Fatalf("cut %d: λ=%d (%v)", a, n, err)
+		}
+	}
+	if eng.Len()+eng.DarkLive() != total {
+		t.Fatalf("live %d + dark %d != %d", eng.Len(), eng.DarkLive(), total)
+	}
+	for i := len(cuts) - 1; i >= 0; i-- {
+		if _, err := eng.RestoreArc(cuts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Verify(); err != nil {
+			t.Fatalf("restore %d: %v", cuts[i], err)
+		}
+	}
+	if eng.NumFailedArcs() != 0 {
+		t.Fatalf("failed arcs = %d after full heal", eng.NumFailedArcs())
+	}
+	// Nothing may be lost: every entry is live again or parked dark
+	// (revival after a heal is still budget-bound — storms may have left
+	// survivors on detour routes that hold the parked entry's capacity).
+	if eng.Len()+eng.DarkLive() != total {
+		t.Fatalf("live %d + dark %d != %d after full heal", eng.Len(), eng.DarkLive(), total)
+	}
+	if n, err := eng.NumLambda(); err != nil || n > 6 {
+		t.Fatalf("λ=%d after heal (%v)", n, err)
+	}
+	// Tear down every live entry, then run the cross-lane sweep: with
+	// the topology healed and the capacity freed the parked remainder
+	// must all come back — dark entries are never lost.
+	stillDark := eng.DarkLive()
+	for _, id := range ids {
+		if dark, err := eng.IsDark(id); err != nil || dark {
+			continue
+		}
+		if err := eng.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Revive(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.DarkLive() != 0 {
+		t.Fatalf("dark=%d after capacity freed (was %d)", eng.DarkLive(), stillDark)
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineCloseRacesFailArc drives concurrent batches and a fault
+// injector against Close: after Close every mutation (including FailArc
+// and RestoreArc) reports ErrEngineClosed and the queries keep
+// answering on the frozen state. Run under -race at -cpu=1,4.
+func TestEngineCloseRacesFailArc(t *testing.T) {
+	net := multiComponentNetwork(t, 4, 67)
+	eng, err := net.NewShardedEngine(WithShardWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := route.NewRouter(net.Topology).AllToAll()
+
+	var started, done sync.WaitGroup
+	const batchers = 2
+	started.Add(batchers + 1)
+	done.Add(batchers + 1)
+	for gi := 0; gi < batchers; gi++ {
+		go func(gi int) {
+			defer done.Done()
+			rng := rand.New(rand.NewSource(int64(500 + gi)))
+			var mine []ShardedID
+			signalled := false
+			nops := 2 * serialBatchThreshold
+			for {
+				ops := make([]BatchOp, 0, nops)
+				nRemove := 0
+				for k := 0; k < nops; k++ {
+					if nRemove < len(mine) && rng.Intn(3) == 0 {
+						ops = append(ops, RemoveOp(mine[nRemove]))
+						nRemove++
+					} else {
+						ops = append(ops, AddOp(pool[rng.Intn(len(pool))]))
+					}
+				}
+				mine = mine[nRemove:]
+				closed := false
+				for i, res := range eng.ApplyBatch(ops) {
+					if errors.Is(res.Err, ErrEngineClosed) {
+						closed = true
+						break
+					}
+					var nr route.ErrNoRoute
+					if errors.As(res.Err, &nr) {
+						continue // a concurrent cut disconnected the pair
+					}
+					if errors.Is(res.Err, ErrUnknownSession) {
+						continue // removed while parked by a concurrent storm
+					}
+					if res.Err != nil {
+						t.Errorf("goroutine %d: %v", gi, res.Err)
+						closed = true
+						break
+					}
+					if ops[i].Kind == BatchAdd {
+						mine = append(mine, res.ID)
+					}
+				}
+				if !signalled {
+					signalled = true
+					started.Done()
+				}
+				if closed {
+					return
+				}
+			}
+		}(gi)
+	}
+	// The fault injector cycles cut/repair over a fixed arc set.
+	go func() {
+		defer done.Done()
+		arcs := []digraph.ArcID{0, 5, 9}
+		signalled := false
+		for {
+			closed := false
+			for _, a := range arcs {
+				if _, err := eng.FailArc(a); errors.Is(err, ErrEngineClosed) {
+					closed = true
+					break
+				}
+				if _, err := eng.RestoreArc(a); errors.Is(err, ErrEngineClosed) {
+					closed = true
+					break
+				}
+			}
+			if !signalled {
+				signalled = true
+				started.Done()
+			}
+			if closed {
+				return
+			}
+		}
+	}()
+	started.Wait()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done.Wait()
+
+	if _, err := eng.FailArc(digraph.ArcID(0)); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("FailArc after Close: %v", err)
+	}
+	if _, err := eng.RestoreArc(digraph.ArcID(0)); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("RestoreArc after Close: %v", err)
+	}
+	// Queries answer on the frozen state.
+	eng.Pi()
+	eng.Len()
+	eng.DarkLive()
+	eng.NumFailedArcs()
+	eng.Stats()
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomFaultChurnSession is the acceptance run: 1000 randomized
+// events interleaving cuts and repairs with budgeted adds and removes.
+// After every event the session must be Verify-clean with λ ≤ w, and no
+// entry may sit dark while its parked route is live and in budget —
+// graceful degradation must re-admit as soon as it can.
+func TestRandomFaultChurnSession(t *testing.T) {
+	net := multiComponentNetwork(t, 2, 131)
+	g := net.Topology
+	const budget = 3
+	sess, err := net.NewSession(WithWavelengthBudget(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := route.NewRouter(g).AllToAll()
+	rng := rand.New(rand.NewSource(997))
+	var ids []SessionID
+	var failed []digraph.ArcID
+	events := 1000
+	if testing.Short() {
+		events = 250
+	}
+	for ev := 0; ev < events; ev++ {
+		switch r := rng.Intn(10); {
+		case r == 0: // cut a random live arc
+			a := digraph.ArcID(rng.Intn(g.NumArcs()))
+			if g.ArcFailed(a) {
+				continue
+			}
+			if _, err := sess.FailArc(a); err != nil {
+				t.Fatalf("event %d: FailArc: %v", ev, err)
+			}
+			failed = append(failed, a)
+		case r == 1 && len(failed) > 0: // repair a random cut
+			k := rng.Intn(len(failed))
+			a := failed[k]
+			failed = append(failed[:k], failed[k+1:]...)
+			if _, err := sess.RestoreArc(a); err != nil {
+				t.Fatalf("event %d: RestoreArc: %v", ev, err)
+			}
+		case r < 7 || len(ids) == 0: // arrival
+			_, adm, err := sess.TryAdd(pool[rng.Intn(len(pool))])
+			if err != nil {
+				var nr route.ErrNoRoute
+				if errors.As(err, &nr) {
+					break // disconnected by an open cut
+				}
+				t.Fatalf("event %d: TryAdd: %v", ev, err)
+			}
+			if adm.Accepted {
+				// Track via IDs to include storms' effects; cheaper to
+				// re-read than to mirror park/revive transitions.
+			}
+			ids = sess.IDs()
+		default: // departure of a random live entry
+			if err := sess.Remove(ids[rng.Intn(len(ids))]); err != nil {
+				t.Fatalf("event %d: Remove: %v", ev, err)
+			}
+			ids = sess.IDs()
+		}
+		ids = sess.IDs()
+		if err := sess.Verify(); err != nil {
+			t.Fatalf("event %d: %v", ev, err)
+		}
+		if n, err := sess.NumLambda(); err != nil || n > budget {
+			t.Fatalf("event %d: λ=%d past budget (%v)", ev, n, err)
+		}
+		if pi := sess.Pi(); pi > budget {
+			t.Fatalf("event %d: π=%d past budget", ev, pi)
+		}
+		// No dark entry may have a live, in-budget parked route: the
+		// revival sweeps run after every fault event and removal, so a
+		// restorable entry must already be back.
+		loads := sess.ArcLoads()
+		for _, id := range sess.DarkIDs() {
+			p, err := sess.Path(id)
+			if err != nil {
+				t.Fatalf("event %d: dark path: %v", ev, err)
+			}
+			restorable := true
+			for _, a := range p.Arcs() {
+				if g.ArcFailed(a) || loads[a]+1 > budget {
+					restorable = false
+					break
+				}
+			}
+			if restorable {
+				t.Fatalf("event %d: dark entry %d parked on a live in-budget route", ev, id)
+			}
+		}
+	}
+	// Full heal: every dark entry must eventually revive or be blocked
+	// purely by the budget, and the final state must verify clean.
+	for _, a := range failed {
+		if _, err := sess.RestoreArc(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Revive()
+	if err := sess.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := sess.NumLambda(); err != nil || n > budget {
+		t.Fatalf("λ=%d after heal (%v)", n, err)
+	}
+	fs := sess.FailureStats()
+	if fs.Cuts == 0 || fs.Affected == 0 {
+		t.Fatalf("trace never stressed the storm path: %+v", fs)
+	}
+}
+
+// TestRandomFaultChurnEngine runs the same acceptance shape through the
+// sharded engine with batched churn: Verify-clean and λ ≤ w after every
+// batch and fault event, nothing lost across parks and revivals.
+func TestRandomFaultChurnEngine(t *testing.T) {
+	net := multiComponentNetwork(t, 3, 313)
+	g := net.Topology
+	const budget = 4
+	eng, err := net.NewShardedEngine(WithEngineWavelengthBudget(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	pool := route.NewRouter(g).AllToAll()
+	rng := rand.New(rand.NewSource(733))
+	var ids []ShardedID
+	var failed []digraph.ArcID
+	rounds := 120
+	if testing.Short() {
+		rounds = 30
+	}
+	for round := 0; round < rounds; round++ {
+		switch r := rng.Intn(6); {
+		case r == 0:
+			a := digraph.ArcID(rng.Intn(g.NumArcs()))
+			if g.ArcFailed(a) {
+				continue
+			}
+			if _, err := eng.FailArc(a); err != nil {
+				t.Fatalf("round %d: FailArc: %v", round, err)
+			}
+			failed = append(failed, a)
+		case r == 1 && len(failed) > 0:
+			k := rng.Intn(len(failed))
+			a := failed[k]
+			failed = append(failed[:k], failed[k+1:]...)
+			if _, err := eng.RestoreArc(a); err != nil {
+				t.Fatalf("round %d: RestoreArc: %v", round, err)
+			}
+		default:
+			ops := make([]BatchOp, 0, 8)
+			nRemove := 0
+			for k := 0; k < 8; k++ {
+				if nRemove < len(ids) && rng.Intn(3) == 0 {
+					ops = append(ops, RemoveOp(ids[nRemove]))
+					nRemove++
+				} else {
+					ops = append(ops, AddOp(pool[rng.Intn(len(pool))]))
+				}
+			}
+			ids = ids[nRemove:]
+			for i, res := range eng.ApplyBatch(ops) {
+				var nr route.ErrNoRoute
+				switch {
+				case res.Err == nil:
+					if ops[i].Kind == BatchAdd {
+						ids = append(ids, res.ID)
+					}
+				case errors.Is(res.Err, ErrBudgetExceeded):
+				case errors.As(res.Err, &nr):
+				case errors.Is(res.Err, ErrUnknownSession):
+					// the entry was torn down while parked dark
+				default:
+					t.Fatalf("round %d: %v", round, res.Err)
+				}
+			}
+		}
+		if err := eng.Verify(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if n, err := eng.NumLambda(); err != nil || n > budget {
+			t.Fatalf("round %d: λ=%d past budget (%v)", round, n, err)
+		}
+	}
+	for _, a := range failed {
+		if _, err := eng.RestoreArc(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.NumFailedArcs() != 0 {
+		t.Fatalf("failed arcs = %d after heal", eng.NumFailedArcs())
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := eng.NumLambda(); err != nil || n > budget {
+		t.Fatalf("λ=%d after heal (%v)", n, err)
+	}
+	if st := eng.Stats(); st.Cuts == 0 {
+		t.Fatalf("trace never cut anything: %+v", st)
+	}
+}

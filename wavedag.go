@@ -223,6 +223,42 @@
 // selection, and carrying a full wavelength assignment rather than just
 // a selection.
 //
+// # Survivability & failures
+//
+// The engines survive live fiber cuts. Graph.FailArc marks an arc
+// failed in place — identifiers, endpoints and adjacency positions are
+// all preserved, so live loads, colorings and dipaths stay index-valid
+// — and every failure-aware traversal (routing, reachability, live
+// component labels) simply skips failed arcs; Graph.RestoreArc heals
+// the cut. Session.FailArc is the dynamic entry point: it locates the
+// affected live paths through the arc-indexed conflict incidence (no
+// family scan), then runs a bounded restoration storm — all affected
+// paths are torn down first (the cut kills them simultaneously), then
+// rerouted shortest-first, each allowed one min-load detour charged
+// against a per-storm retry budget (WithStormRetryBudget; default 2×
+// the affected count). Paths the storm cannot restore are parked as
+// dark entries: retained under their SessionID, flagged, excluded from
+// λ/π and the live view, never silently dropped. Session.RestoreArc
+// heals an arc and runs a re-admission sweep that revives dark entries
+// oldest-first under the wavelength budget, and Session.Revive (or
+// ShardedEngine.Revive, which also sweeps across the two-level lanes)
+// runs the same sweep on demand; removals and repairs also re-promote
+// best-effort ("degrade"-admitted) traffic to budgeted service once λ
+// fits the budget again, restoring the λ ≤ w guarantee.
+//
+// ShardedEngine.FailArc/RestoreArc dispatch cuts to the owning shard
+// (region lane first, then the overlay lane, with the two-level
+// reconciliation folding storm-driven path deltas between them), track
+// split components incrementally via live component labels — requests
+// a cut made unroutable are rejected in O(1) at dispatch — and count
+// cuts, affected/restored/parked/revived paths and storm latency into
+// EngineStats/LaneStats. FailureStats and StormReport carry the same
+// counters at session and per-storm granularity; Session.DarkIDs /
+// ShardedEngine.DarkLive expose the parked population. For measurement,
+// NewFaultSchedule draws a deterministic MTBF/MTTR alternating-renewal
+// cut/repair event stream ([]FaultEvent) over a topology's arcs, the
+// workload `go run ./cmd/bench -survive` replays against churn.
+//
 // BENCH_PR1.json records the measured baseline (ns/op, B/op, allocs/op,
 // before/after) for the E1–E12 experiment pipelines and the large-
 // instance workloads of cmd/bench; BENCH_PR2.json adds the churn
@@ -232,7 +268,10 @@
 // warm-start recolor numbers; BENCH_PR4.json adds the giant-component
 // churn sweep (sub-shard threshold axis, locality-controlled traffic),
 // the small-batch worker-pool numbers and the trusted-translation merge
-// cost; `make benchsmoke` keeps every benchmark compiling and running.
+// cost; BENCH_PR6.json adds the survivability sweep (restoration
+// latency, restored%, parked/revived counts and budget violations over
+// a 3-point MTBF axis); `make benchsmoke` (and `make
+// benchsmoke-survive`) keeps every benchmark compiling and running.
 //
 // The sub-packages under internal/ hold the implementation; this package
 // re-exports the stable API.
@@ -358,6 +397,16 @@ type (
 	// offered one at a time against a wavelength budget (see
 	// NewOnlineMaxRequests).
 	OnlineMaxRequests = groom.Online
+	// FailureStats counts a session's cumulative failure outcomes: cuts,
+	// affected/restored/parked/revived paths, best-effort promotions (see
+	// Session.FailureStats and the "Survivability & failures" section).
+	FailureStats = wdm.FailureStats
+	// StormReport is the outcome of one restoration storm (returned by
+	// Session.FailArc / ShardedEngine.FailArc).
+	StormReport = wdm.StormReport
+	// FaultEvent is one cut or repair of a fault schedule (see
+	// NewFaultSchedule).
+	FaultEvent = gen.FaultEvent
 )
 
 // ErrEngineClosed is returned by mutating ShardedEngine methods after
@@ -368,6 +417,12 @@ var ErrEngineClosed = wdm.ErrEngineClosed
 // when budget admission rejects a request; TryAdd reports the same
 // outcome as a non-error Admission decision.
 var ErrBudgetExceeded = wdm.ErrBudgetExceeded
+
+// ErrUnknownSession is the sentinel wrapped by Session and ShardedEngine
+// operations handed a SessionID that is not live — never issued, already
+// removed, or recycled to a later generation. The failing call mutates
+// nothing.
+var ErrUnknownSession = wdm.ErrUnknownSession
 
 // Names of the built-in admission strategies.
 const (
@@ -441,6 +496,12 @@ func WithAdmissionStrategyName(name string) SessionOption {
 // admission probe even on internal-cycle-free topologies — the ablation
 // axis of the admission benchmarks.
 func WithAdmissionRollbackProbe() SessionOption { return wdm.WithAdmissionRollbackProbe() }
+
+// WithStormRetryBudget caps how many detour attempts one restoration
+// storm may spend across all its affected paths (n < 0 selects the
+// default of twice the affected count; 0 disables detours, leaving only
+// each path's primary reroute).
+func WithStormRetryBudget(n int) SessionOption { return wdm.WithStormRetryBudget(n) }
 
 // Sharded-engine options and batch constructors, re-exported from the
 // wdm layer.
@@ -618,6 +679,15 @@ func NewLoadTracker(g *Graph) *LoadTracker { return load.NewTracker(g) }
 // NewLoadTrackerFromFamily returns a tracker preloaded with fam.
 func NewLoadTrackerFromFamily(g *Graph, fam Family) *LoadTracker {
 	return load.NewTrackerFromFamily(g, fam)
+}
+
+// NewFaultSchedule draws a deterministic MTBF/MTTR fault process over
+// the arcs of g: each arc independently alternates exponentially
+// distributed up (mean mtbf) and down (mean mttr) periods out to the
+// horizon, and the merged time-sorted cut/repair stream is returned.
+// Replaying it in order against FailArc/RestoreArc is always valid.
+func NewFaultSchedule(g *Graph, mtbf, mttr, horizon float64, seed int64) ([]FaultEvent, error) {
+	return gen.FaultSchedule(g, mtbf, mttr, horizon, seed)
 }
 
 // Constructions from the paper, for experimentation and testing.
