@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify benchsmoke benchsmoke-sharded benchsmoke-subshard benchsmoke-admission benchsmoke-survive bench test
+.PHONY: verify benchsmoke benchsmoke-sharded benchsmoke-subshard benchsmoke-admission benchsmoke-survive benchsmoke-snapshot bench test
 
 verify:
 	$(GO) build ./...
@@ -40,6 +40,13 @@ benchsmoke-admission:
 # at two GOMAXPROCS settings.
 benchsmoke-survive:
 	$(GO) test -run=NONE -bench='SurviveChurn' -benchtime=1x -cpu=1,4 ./...
+
+# Query-plane smoke: the lock-free snapshot reads (scalar queries, the
+# pooled load-vector copy, per-id lookups) and the four-reader
+# concurrent read/write driver against the mutex baseline, at two
+# GOMAXPROCS settings, so the snapshot publication path cannot rot.
+benchsmoke-snapshot:
+	$(GO) test -run=NONE -bench='SnapshotQuery|SnapshotReaders' -benchtime=1x -cpu=1,4 ./...
 
 bench:
 	$(GO) run ./cmd/bench -benchtime 1s -out bench-latest.json

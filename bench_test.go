@@ -648,7 +648,7 @@ func BenchmarkAdmissionChurn(b *testing.B) {
 			}
 			// A probe crossing a saturated arc: both admission paths must
 			// reject it every iteration without mutating the session.
-			probeReq, found := route.SaturatedRequest(topo, s.ArcLoads(), pool, 3)
+			probeReq, found := route.SaturatedRequest(topo, s.ArcLoadsInto(nil), pool, 3)
 			if !found {
 				b.Fatal("no saturated probe found")
 			}

@@ -213,7 +213,7 @@ func admissionRejectCostBenches(label string, g *digraph.Digraph, pool []route.R
 					}
 				}
 			}
-			probe, found := route.SaturatedRequest(g, s.ArcLoads(), pool, budget)
+			probe, found := route.SaturatedRequest(g, s.ArcLoadsInto(nil), pool, budget)
 			if !found {
 				b.Fatalf("offered load never saturated an arc at budget %d", budget)
 			}

@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-out bench.json] [-benchtime 1s] [-large] [-survive]
+//	go run ./cmd/bench [-out bench.json] [-benchtime 1s] [-large] [-survive] [-readers 0,4]
 //
 // -survive adds the survivability sweep (fiber-cut churn over a 3-point
 // MTBF axis plus the sharded-engine counterpart); its snapshots land in
-// BENCH_PR6.json.
+// BENCH_PR6.json. -readers sets the reader-goroutine axis of the
+// query-plane sweep (lock-free snapshot reads vs mutex-serialised
+// ...Strong reads under write churn); its snapshots land in
+// BENCH_PR7.json.
 //
 // The E-suite entries mirror bench_test.go so snapshots line up with
 // `go test -bench=.`; the large entries (Theorem 1 at n=500/paths=5000,
@@ -57,6 +60,7 @@ func main() {
 	survive := flag.Bool("survive", false, "include the survivability (fiber-cut) sweep")
 	cpus := flag.String("cpus", "1,2,4", "comma-separated worker counts for the sharded churn sweep")
 	subshard := flag.String("subshard", "0,64", "comma-separated sub-shard thresholds for the giant-component sweep (0 = off)")
+	readers := flag.String("readers", "0,4", "comma-separated reader-goroutine counts for the query-plane sweep")
 	flag.Parse()
 
 	cpuList, err := parseCPUs(*cpus)
@@ -64,6 +68,10 @@ func main() {
 		fatal(err)
 	}
 	subshardList, err := parseInts(*subshard, 0)
+	if err != nil {
+		fatal(err)
+	}
+	readerList, err := parseInts(*readers, 0)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,7 +102,7 @@ func main() {
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
 
-	for _, b := range suite(*large, *survive, cpuList, subshardList) {
+	for _, b := range suite(*large, *survive, cpuList, subshardList, readerList) {
 		run(b.name, b.fn)
 	}
 
@@ -143,8 +151,9 @@ type bench struct {
 // suite builds the benchmark list. Every workload is constructed outside
 // the timed loop, exactly as in bench_test.go. cpus is the worker-count
 // axis of the sharded churn sweeps; subshards the threshold axis of the
-// giant-component sweep; survive adds the fiber-cut sweep.
-func suite(large, survive bool, cpus, subshards []int) []bench {
+// giant-component sweep; readers the reader-goroutine axis of the
+// query-plane sweep; survive adds the fiber-cut sweep.
+func suite(large, survive bool, cpus, subshards, readers []int) []bench {
 	var benches []bench
 	add := func(name string, fn func(b *testing.B)) {
 		benches = append(benches, bench{name, fn})
@@ -366,6 +375,17 @@ func suite(large, survive bool, cpus, subshards []int) []bench {
 				fmt.Sprintf("churn/sharded/C=4-n=160-paths=400/batch=8/cpus=%d", c),
 				g, pool, 400, 8, c, 23))
 		}
+	}
+
+	// Query-plane sweep (small): concurrent readers against the
+	// lock-free snapshot API vs the mutex-serialised ...Strong reads
+	// while the writer churns 64-event batches — reader QPS, read
+	// p50/p99 and writer ns/event, head to head per reader count.
+	{
+		g := multiShard(4, 40, 21)
+		pool := route.NewRouter(g).AllToAll()
+		benches = append(benches, queryPlaneBenches(
+			"C=4-n=160-paths=400", g, pool, 400, 64, readers, 25)...)
 	}
 
 	// Giant-component churn (small): a glued component holding ~90% of

@@ -130,6 +130,20 @@ func (t *Tracker) Pi() int {
 // Loads returns a copy of the current load vector.
 func (t *Tracker) Loads() []int { return append([]int(nil), t.loads...) }
 
+// LoadsInto copies the current load vector into dst, reusing its
+// capacity (growing it only when too small), and returns the resized
+// slice — the allocation-free form of Loads for callers that poll the
+// vector in a loop.
+func (t *Tracker) LoadsInto(dst []int) []int {
+	if cap(dst) < len(t.loads) {
+		dst = make([]int, len(t.loads))
+	} else {
+		dst = dst[:len(t.loads)]
+	}
+	copy(dst, t.loads)
+	return dst
+}
+
 // ScatterLoads writes the tracker's per-arc loads into dst under the
 // given identifier translation: dst[ids[a]] = Load(a) for every local
 // arc a. Shard-local trackers over component views report into one

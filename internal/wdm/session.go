@@ -379,6 +379,11 @@ func (s *Session) Pi() int { return s.tracker.Pi() }
 // it to find saturated arcs).
 func (s *Session) ArcLoads() []int { return s.tracker.Loads() }
 
+// ArcLoadsInto is ArcLoads with a caller-owned buffer: dst is resized
+// to the arc count reusing its capacity, so a polling caller pays no
+// per-call allocation (see Tracker.LoadsInto).
+func (s *Session) ArcLoadsInto(dst []int) []int { return s.tracker.LoadsInto(dst) }
+
 // NumLambda returns the number of wavelengths currently in use. With
 // the incremental strategy this is O(1); with the full strategy it
 // recomputes from scratch.
@@ -752,6 +757,30 @@ func (s *Session) snapshot() (slots []int, fam dipath.Family) {
 		}
 	}
 	return slots, fam
+}
+
+// fillSnapshotRows freezes the session's slot table into rows (sized
+// to len(s.entries) by the caller) for the engine's published snapshot:
+// free slots as snapFree, dark entries with their parked route and
+// wavelength -1, lit entries with their current wavelength offset by
+// band (the overlay lane's banding base; 0 elsewhere). Deferred
+// wavelengths (-1) are never banded, matching Wavelength.
+func (s *Session) fillSnapshotRows(rows []snapRow, band int) {
+	for idx := range s.entries {
+		e := &s.entries[idx]
+		switch {
+		case !e.alive:
+			rows[idx] = snapRow{}
+		case e.dark:
+			rows[idx] = snapRow{gen: e.gen, state: snapDark, wavelength: -1, path: e.path}
+		default:
+			w := s.coloring.Wavelength(e.slot)
+			if w >= 0 {
+				w += band
+			}
+			rows[idx] = snapRow{gen: e.gen, state: snapLit, wavelength: int32(w), path: e.path}
+		}
+	}
 }
 
 // Provisioning materialises the session's current state as a

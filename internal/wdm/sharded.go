@@ -15,7 +15,8 @@ import (
 
 // ErrEngineClosed is returned by mutating ShardedEngine methods after
 // Close. Read-only queries (Len, Pi, NumLambda, Path, Provisioning,
-// Verify, ...) keep working on the frozen state.
+// Verify, ...) keep working on the frozen state — the snapshot-backed
+// ones lock-free, from the final published snapshot.
 var ErrEngineClosed = errors.New("wdm: engine closed")
 
 // DefaultSubshardThreshold is the component size (in vertices) at which
@@ -118,7 +119,13 @@ type BatchResult struct {
 // applies after the region lanes, whatever the input interleaving).
 // Close waits for the in-flight batch, stops the worker pool and
 // freezes the engine: further mutations return ErrEngineClosed,
-// queries keep answering (serially).
+// queries keep answering, lock-free, from the final published snapshot.
+//
+// Reads never block writes: every mutation boundary publishes an
+// immutable EngineSnapshot through one atomic pointer (see
+// snapshot.go), and the read-only API answers from it without touching
+// the engine mutex. The ...Strong variants take the mutex and read
+// live state — the linearizable form.
 type ShardedEngine struct {
 	mu      sync.Mutex
 	net     *Network
@@ -149,6 +156,18 @@ type ShardedEngine struct {
 	p2Scratch   []int32 // phase-2 component indices
 	compStamp   []uint64
 	batchSerial uint64
+
+	// Lock-free query plane (see snapshot.go): the currently published
+	// snapshot, its sequence counter, whether λ is cheap enough to
+	// materialise per publication (all coloring states incremental), the
+	// per-publication component dirtiness scratch, and the buffer
+	// recycling pools.
+	snap          atomic.Pointer[EngineSnapshot]
+	pubSeq        uint64
+	lambdaEager   bool
+	snapCompDirty []bool
+	tablePool     sync.Pool // *snapTable
+	vecPool       sync.Pool // *snapVec
 }
 
 // shardKind distinguishes the three executable shard flavours.
@@ -181,6 +200,12 @@ type engineShard struct {
 
 	ops    []shardOp    // scratch: this batch's ops
 	deltas []shardDelta // batch-scoped path deltas (region/overlay only)
+
+	// dirty marks the shard's session as mutated since the last snapshot
+	// publication, so publishLocked rebuilds its entry table. Set by the
+	// one worker executing the shard (or the failure dispatch, under
+	// e.mu), cleared at publication.
+	dirty bool
 }
 
 // shardOp is one dispatched batch event: the index into the caller's
@@ -213,6 +238,17 @@ type engineComponent struct {
 	// induces: pairs the cut split are rejected in O(1) at dispatch, and
 	// the label is dropped (nil) when the last cut heals. nil = intact.
 	liveLabel []int32
+
+	// Snapshot aggregate cache (see snapshot.go): λ (with the overlay
+	// banding base), π, and live/dark counts as of the last publication
+	// that found this component dirty. Maintained under e.mu.
+	aggLambda        int
+	aggLambdaErr     error
+	aggRegionBase    int // region λ max — the overlay band's base
+	aggOverlayLambda int
+	aggPi            int
+	aggLive          int
+	aggDark          int
 }
 
 func (c *engineComponent) twoLevel() bool { return c.plain == nil }
@@ -434,6 +470,19 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 			})
 		}
 	}
+	// λ is materialised into every snapshot only when all coloring
+	// states answer NumLambda in O(1) (the incremental strategy, the
+	// default); a deferred strategy would turn every publication into a
+	// full solve, so those engines answer λ through the strong path.
+	e.lambdaEager = true
+	for _, sh := range e.shards {
+		if _, ok := sh.sess.coloring.(*incrementalState); !ok {
+			e.lambdaEager = false
+			break
+		}
+	}
+	e.snapCompDirty = make([]bool, len(e.comps))
+	e.publishLocked() // seed the query plane with the empty snapshot
 	// The pool starts last: constructor error paths leak no goroutines.
 	if e.workers > 1 {
 		e.pool = newWorkerPool(e.workers - 1)
@@ -443,8 +492,9 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 
 // Close waits for any in-flight batch, stops the persistent worker
 // pool and freezes the engine: subsequent mutations return
-// ErrEngineClosed, queries keep answering (serially). Close is
-// idempotent and safe to call concurrently with batches.
+// ErrEngineClosed, queries keep answering — lock-free — from the final
+// published snapshot. Close is idempotent and safe to call
+// concurrently with batches.
 func (e *ShardedEngine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -456,6 +506,9 @@ func (e *ShardedEngine) Close() error {
 		e.pool.close()
 		e.pool = nil
 	}
+	// Publish the frozen state so lock-free readers see Closed() flip
+	// and keep answering from the final snapshot.
+	e.publishLocked()
 	return nil
 }
 
@@ -559,11 +612,19 @@ func (st EngineStats) Restored() int {
 	return st.Plain.Restored + st.Region.Restored + st.Overlay.Restored
 }
 
-// Stats reports the engine layout, overlay occupancy and per-lane
-// traffic shares.
-func (e *ShardedEngine) Stats() EngineStats {
+// StatsStrong reports the engine layout, overlay occupancy and
+// per-lane traffic shares read under the engine mutex — the
+// strongly-consistent twin of Stats, which answers from the published
+// snapshot.
+func (e *ShardedEngine) StatsStrong() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.statsLocked()
+}
+
+// statsLocked assembles EngineStats from the live sessions; the caller
+// holds e.mu. Shared by StatsStrong and snapshot publication.
+func (e *ShardedEngine) statsLocked() EngineStats {
 	st := EngineStats{
 		Components: len(e.comps),
 		Budget:     e.budget,
@@ -604,10 +665,12 @@ func (e *ShardedEngine) OverlayBudgetSlice() int {
 	return e.overlaySlice
 }
 
-// OverlayLambda returns the maximum number of overlay wavelength
+// OverlayLambdaStrong returns the maximum number of overlay wavelength
 // classes across components — the band the two-level aggregation stacks
-// above the region maximum (0 when no overlay lane holds a request).
-func (e *ShardedEngine) OverlayLambda() (int, error) {
+// above the region maximum (0 when no overlay lane holds a request) —
+// read under the engine mutex (see OverlayLambda for the snapshot
+// form).
+func (e *ShardedEngine) OverlayLambdaStrong() (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	max := 0
@@ -696,6 +759,7 @@ func (sh *engineShard) globalizeErr(prefix string, err error) error {
 // tracker mutation (op-driven or storm-driven) lands in sh.deltas, so
 // apply itself no longer captures before/after paths.
 func (sh *engineShard) apply(e *ShardedEngine, op BatchOp, lreq route.Request) BatchResult {
+	sh.dirty = true // even a failed op may have mutated admission counters
 	switch op.Kind {
 	case BatchAdd:
 		id, err := sh.sess.Add(lreq)
@@ -773,8 +837,11 @@ func (e *ShardedEngine) applyLocked(ops []BatchOp, results []BatchResult) {
 		sh.ops = sh.ops[:0]
 	})
 	e.fanOut(serial, len(p2), func(i int) {
-		e.comps[p2[i]].overlayPhase(e, ops, results)
+		c := e.comps[p2[i]]
+		c.overlay.dirty = true // fold/scatter move the combined load view
+		c.overlayPhase(e, ops, results)
 	})
+	e.publishLocked()
 }
 
 // group routes each op to its shard's mailbox, failing undispatchable
@@ -1017,9 +1084,10 @@ func (sh *engineShard) compLocalPath(p *dipath.Path) (*dipath.Path, error) {
 	return dipath.FromArcsTrusted(sh.comp.view.G, arcs...), nil
 }
 
-// Path returns the current route of a live request, in the engine
-// topology's vertex and arc identifiers.
-func (e *ShardedEngine) Path(id ShardedID) (*dipath.Path, error) {
+// PathStrong returns the current route of a live request, in the
+// engine topology's vertex and arc identifiers, read under the engine
+// mutex (see Path for the snapshot form).
+func (e *ShardedEngine) PathStrong(id ShardedID) (*dipath.Path, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	sh, err := e.shardOf(id)
@@ -1067,11 +1135,12 @@ func (c *engineComponent) lambda() (int, error) {
 	return base + on, nil
 }
 
-// Wavelength returns the current wavelength of a live request. Overlay
-// lane wavelengths are reported in the component's effective band
-// (region maximum + overlay class), so the answer may shift upward as
-// region lanes grow; it is exact as of the call.
-func (e *ShardedEngine) Wavelength(id ShardedID) (int, error) {
+// WavelengthStrong returns the current wavelength of a live request,
+// read under the engine mutex (see Wavelength for the snapshot form).
+// Overlay lane wavelengths are reported in the component's effective
+// band (region maximum + overlay class), so the answer may shift
+// upward as region lanes grow; it is exact as of the call.
+func (e *ShardedEngine) WavelengthStrong(id ShardedID) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	sh, err := e.shardOf(id)
@@ -1089,8 +1158,9 @@ func (e *ShardedEngine) Wavelength(id ShardedID) (int, error) {
 	return base + w, nil
 }
 
-// Len returns the number of live requests across all shards.
-func (e *ShardedEngine) Len() int {
+// LenStrong returns the number of live requests across all shards,
+// read under the engine mutex (see Len for the snapshot form).
+func (e *ShardedEngine) LenStrong() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	total := 0
@@ -1100,11 +1170,12 @@ func (e *ShardedEngine) Len() int {
 	return total
 }
 
-// Pi returns the load π of the live routing — the maximum over
-// components. A two-level component's overlay tracker holds the exact
+// PiStrong returns the load π of the live routing — the maximum over
+// components — read under the engine mutex (see Pi for the snapshot
+// form). A two-level component's overlay tracker holds the exact
 // combined load view (region lanes reconcile into it at every batch
 // boundary), so π stays exact under sub-sharding.
-func (e *ShardedEngine) Pi() int {
+func (e *ShardedEngine) PiStrong() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	pi := 0
@@ -1122,11 +1193,13 @@ func (e *ShardedEngine) Pi() int {
 	return pi
 }
 
-// NumLambda returns the number of wavelengths in use: the maximum over
-// components (offset-free union — wavelengths of independent components
-// overlap rather than stack), where a two-level component counts its
-// region maximum plus its overlay band.
-func (e *ShardedEngine) NumLambda() (int, error) {
+// NumLambdaStrong returns the number of wavelengths in use: the
+// maximum over components (offset-free union — wavelengths of
+// independent components overlap rather than stack), where a two-level
+// component counts its region maximum plus its overlay band. It reads
+// under the engine mutex (see NumLambda for the snapshot form) and is
+// the materialising path for deferred coloring strategies.
+func (e *ShardedEngine) NumLambdaStrong() (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	num := 0
@@ -1142,9 +1215,10 @@ func (e *ShardedEngine) NumLambda() (int, error) {
 	return num, nil
 }
 
-// ArcLoads returns the per-arc load vector over the engine's topology,
-// scattered from the shard-local trackers without intermediate copies.
-func (e *ShardedEngine) ArcLoads() []int {
+// ArcLoadsStrong returns the per-arc load vector over the engine's
+// topology, scattered from the shard-local trackers under the engine
+// mutex (see ArcLoads/ArcLoadsInto for the snapshot forms).
+func (e *ShardedEngine) ArcLoadsStrong() []int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	loads := make([]int, e.net.Topology.NumArcs())

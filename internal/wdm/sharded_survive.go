@@ -77,6 +77,11 @@ func (e *ShardedEngine) FailArc(a digraph.ArcID) (StormReport, error) {
 	c.refreshLiveLabel()
 	e.cuts++
 	e.stormNanos += time.Since(start).Nanoseconds()
+	// A storm can reroute, park or revive entries in any of the
+	// component's lanes; mark them all for a table rebuild and publish
+	// so lock-free readers see the post-storm state.
+	c.markAllDirty()
+	e.publishLocked()
 	return rep, nil
 }
 
@@ -124,6 +129,8 @@ func (e *ShardedEngine) RestoreArc(a digraph.ArcID) (int, error) {
 	}
 	c.refreshLiveLabel()
 	e.restores++
+	c.markAllDirty()
+	e.publishLocked()
 	return revived, nil
 }
 
@@ -150,6 +157,10 @@ func (e *ShardedEngine) Revive() (int, error) {
 		c.scatterOverlayDeltas()
 		revived += n + n2
 	}
+	for _, c := range e.comps {
+		c.markAllDirty() // revival sweeps may touch any lane
+	}
+	e.publishLocked()
 	return revived, nil
 }
 
@@ -182,16 +193,19 @@ func (c *engineComponent) refreshLiveLabel() {
 	c.liveLabel = c.view.G.LiveComponentLabels()
 }
 
-// NumFailedArcs reports how many arcs of the engine topology are
-// currently cut.
-func (e *ShardedEngine) NumFailedArcs() int {
+// NumFailedArcsStrong reports how many arcs of the engine topology are
+// currently cut, read under the engine mutex (see NumFailedArcs for
+// the snapshot form).
+func (e *ShardedEngine) NumFailedArcsStrong() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.net.Topology.NumFailedArcs()
 }
 
-// DarkLive returns the number of entries parked dark across all lanes.
-func (e *ShardedEngine) DarkLive() int {
+// DarkLiveStrong returns the number of entries parked dark across all
+// lanes, read under the engine mutex (see DarkLive for the snapshot
+// form).
+func (e *ShardedEngine) DarkLiveStrong() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	total := 0
@@ -201,8 +215,10 @@ func (e *ShardedEngine) DarkLive() int {
 	return total
 }
 
-// IsDark reports whether the request id is currently parked dark.
-func (e *ShardedEngine) IsDark(id ShardedID) (bool, error) {
+// IsDarkStrong reports whether the request id is currently parked
+// dark, read under the engine mutex (see IsDark for the snapshot
+// form).
+func (e *ShardedEngine) IsDarkStrong(id ShardedID) (bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	sh, err := e.shardOf(id)

@@ -1,0 +1,577 @@
+package wdm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"wavedag/internal/dipath"
+)
+
+// This file is the engine's lock-free query plane. The mutating API
+// (ApplyBatch, FailArc, RestoreArc, Revive, Close) rebuilds an
+// immutable EngineSnapshot at every boundary and publishes it through
+// an atomic pointer; the read-only API answers from the current
+// snapshot without touching the engine mutex, so monitoring readers
+// never stall the write path and a write never stalls a reader. The
+// ...Strong variants (sharded.go) keep the mutex-serialised reads for
+// tests and for callers that need the in-flight, not-yet-published
+// state.
+//
+// Publication is incremental and double-buffered: only shards a batch
+// actually touched rebuild their entry tables (untouched tables are
+// shared by reference between consecutive snapshots), and the backing
+// arrays of retired snapshots are recycled through pools once the last
+// reference drops. Reference counts — one per referencing snapshot plus
+// one per pinned reader — gate the recycling, so a reader that holds a
+// snapshot across many batches reads stable data for as long as it
+// wants; it only delays buffer reuse, never correctness.
+
+// errLambdaDeferred is returned by snapshot λ queries on engines whose
+// coloring strategy defers wavelength assignment: a deferred strategy
+// materialises λ on demand (a full solve), which publication refuses to
+// pay per batch. NumLambda and OverlayLambda on the engine fall back to
+// the Strong path transparently; only direct snapshot reads see this.
+var errLambdaDeferred = errors.New(
+	"wdm: λ is not materialised in snapshots under a deferred coloring strategy; use NumLambdaStrong")
+
+// Snapshot entry states.
+const (
+	snapFree uint8 = iota // slot unoccupied (or recycled under a newer generation)
+	snapLit                // live, carrying a wavelength
+	snapDark               // parked dark by a restoration storm
+)
+
+// snapRow is one request slot's row in a snapshot's per-shard entry
+// table: what Path, Wavelength and IsDark need, frozen at publication.
+// The path pointer aliases the session's path object, which is
+// immutable once committed (reroutes and storms replace the pointer,
+// never mutate the path), so sharing it across snapshots is safe.
+type snapRow struct {
+	gen        uint32
+	state      uint8
+	wavelength int32 // banded engine wavelength; -1 when dark or deferred
+	path       *dipath.Path
+}
+
+// snapTable is one shard's entry table inside a snapshot. refs counts
+// the snapshots currently referencing it — consecutive snapshots share
+// the table of a shard no batch touched — and the last drop returns it
+// to the engine's pool for the next rebuild.
+type snapTable struct {
+	refs atomic.Int32
+	rows []snapRow
+}
+
+// snapVec is a snapshot's global arc-load vector, pooled and
+// reference-counted exactly like snapTable (snapshots published by
+// batches that changed no load share the vector outright).
+type snapVec struct {
+	refs atomic.Int32
+	arr  []int
+}
+
+// EngineSnapshot is an immutable view of a ShardedEngine frozen at a
+// publication boundary: λ, π, live/dark counts, EngineStats with the
+// per-lane LaneStats, the arc-load vector, and the entry tables backing
+// Path/Wavelength lookups, all from the same boundary, stamped with the
+// topology epoch and a monotonic sequence number.
+//
+// Obtain one with ShardedEngine.Snapshot, which pins it, and call
+// Release when done — the pin keeps the backing buffers out of the
+// recycling pools, so every accessor stays valid for as long as the
+// snapshot is held (a forgotten Release leaks nothing; it only stops
+// the buffers from being reused). All accessors are safe for
+// concurrent use by any number of goroutines.
+type EngineSnapshot struct {
+	seq           uint64
+	epoch         uint64
+	lambda        int
+	overlayLambda int
+	lambdaErr     error
+	pi            int
+	live          int
+	dark          int
+	closed        bool
+	stats         EngineStats
+
+	refs   atomic.Int64
+	loads  *snapVec
+	tables []*snapTable
+	eng    *ShardedEngine
+}
+
+// Seq returns the snapshot's publication sequence number — strictly
+// increasing across publications, so two snapshots with equal Seq are
+// the same snapshot.
+func (s *EngineSnapshot) Seq() uint64 { return s.seq }
+
+// TopologyEpoch returns the topology epoch at publication (see
+// digraph.TopologyEpoch — FailArc and RestoreArc bump it).
+func (s *EngineSnapshot) TopologyEpoch() uint64 { return s.epoch }
+
+// Closed reports whether the engine was closed at publication.
+func (s *EngineSnapshot) Closed() bool { return s.closed }
+
+// Stats returns the engine stats frozen at publication.
+func (s *EngineSnapshot) Stats() EngineStats { return s.stats }
+
+// Len returns the number of live (lit) requests at publication.
+func (s *EngineSnapshot) Len() int { return s.live }
+
+// DarkLive returns the number of dark-parked entries at publication.
+func (s *EngineSnapshot) DarkLive() int { return s.dark }
+
+// Pi returns the load π at publication.
+func (s *EngineSnapshot) Pi() int { return s.pi }
+
+// NumLambda returns the wavelength count at publication. On engines
+// running a deferred coloring strategy it returns an error (λ is only
+// materialised on demand there — use ShardedEngine.NumLambdaStrong).
+func (s *EngineSnapshot) NumLambda() (int, error) { return s.lambda, s.lambdaErr }
+
+// OverlayLambda returns the maximum overlay band across components at
+// publication (see ShardedEngine.OverlayLambda); like NumLambda it
+// errors under a deferred coloring strategy.
+func (s *EngineSnapshot) OverlayLambda() (int, error) { return s.overlayLambda, s.lambdaErr }
+
+// NumArcs returns the length of the snapshot's arc-load vector.
+func (s *EngineSnapshot) NumArcs() int { return len(s.loads.arr) }
+
+// ArcLoadsInto copies the snapshot's per-arc load vector into dst,
+// reusing its capacity (growing only when too small), and returns the
+// resized slice.
+func (s *EngineSnapshot) ArcLoadsInto(dst []int) []int {
+	src := s.loads.arr
+	if cap(dst) < len(src) {
+		dst = make([]int, len(src))
+	} else {
+		dst = dst[:len(src)]
+	}
+	copy(dst, src)
+	return dst
+}
+
+// ArcLoads returns a copy of the snapshot's per-arc load vector.
+func (s *EngineSnapshot) ArcLoads() []int { return s.ArcLoadsInto(nil) }
+
+// lookupRow resolves id against the snapshot's entry tables, with the
+// same error shape as the live session lookup.
+func (s *EngineSnapshot) lookupRow(id ShardedID) (snapRow, *engineShard, error) {
+	if id.Shard < 0 || int(id.Shard) >= len(s.tables) {
+		return snapRow{}, nil, fmt.Errorf("wdm: unknown shard %d", id.Shard)
+	}
+	rows := s.tables[id.Shard].rows
+	idx := int64(uint32(id.ID))
+	gen := uint32(uint64(id.ID) >> 32)
+	if idx >= int64(len(rows)) {
+		return snapRow{}, nil, fmt.Errorf("wdm: unknown session id %d: %w", id.ID, ErrUnknownSession)
+	}
+	r := rows[idx]
+	if r.state == snapFree || r.gen != gen {
+		return snapRow{}, nil, fmt.Errorf("wdm: session id %d: %w", id.ID, ErrUnknownSession)
+	}
+	return r, s.eng.shards[id.Shard], nil
+}
+
+// Path returns the route the request held at publication, in the
+// engine topology's identifiers (for a dark entry, the parked route).
+func (s *EngineSnapshot) Path(id ShardedID) (*dipath.Path, error) {
+	r, sh, err := s.lookupRow(id)
+	if err != nil {
+		return nil, err
+	}
+	return sh.globalPath(s.eng, r.path)
+}
+
+// Wavelength returns the banded engine wavelength the request held at
+// publication, or -1 when it was parked dark or assignment is deferred.
+func (s *EngineSnapshot) Wavelength(id ShardedID) (int, error) {
+	r, _, err := s.lookupRow(id)
+	if err != nil {
+		return -1, err
+	}
+	return int(r.wavelength), nil
+}
+
+// IsDark reports whether the request was parked dark at publication.
+func (s *EngineSnapshot) IsDark(id ShardedID) (bool, error) {
+	r, _, err := s.lookupRow(id)
+	if err != nil {
+		return false, err
+	}
+	return r.state == snapDark, nil
+}
+
+// acquire pins s for reading. It fails only when the last reference has
+// already dropped — which can only happen to a snapshot that is no
+// longer the published one, so callers retry against the current
+// pointer.
+func (s *EngineSnapshot) acquire() bool {
+	for {
+		n := s.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release unpins a snapshot returned by ShardedEngine.Snapshot. The
+// last drop (publisher reference included) sends the backing buffers
+// back to the recycling pools. Releasing more often than acquired
+// panics — the buffers would be recycled under a still-active reader.
+func (s *EngineSnapshot) Release() {
+	n := s.refs.Add(-1)
+	if n == 0 {
+		s.reclaim()
+	} else if n < 0 {
+		panic("wdm: EngineSnapshot released more times than acquired")
+	}
+}
+
+// reclaim recycles the snapshot's backing buffers once no reference is
+// left; tables still shared with a newer snapshot stay out until their
+// own count drops. Row path pointers are left in place — the pool is
+// GC-backed and every rebuild overwrites the rows it hands out.
+func (s *EngineSnapshot) reclaim() {
+	e := s.eng
+	if s.loads != nil && s.loads.refs.Add(-1) == 0 {
+		e.vecPool.Put(s.loads)
+	}
+	for _, t := range s.tables {
+		if t.refs.Add(-1) == 0 {
+			e.tablePool.Put(t)
+		}
+	}
+}
+
+// Snapshot pins and returns the engine's current published snapshot —
+// one atomic load plus one atomic increment, no locks. Callers must
+// Release it when done. Successive calls may return the same snapshot
+// (nothing was published in between) but Seq never moves backwards.
+func (e *ShardedEngine) Snapshot() *EngineSnapshot {
+	for {
+		if s := e.snap.Load(); s.acquire() {
+			return s
+		}
+	}
+}
+
+// ── Lock-free read API ─────────────────────────────────────────────────
+//
+// Scalar queries read the current snapshot struct directly: the struct
+// itself is never recycled (only its arrays are), so a bare atomic
+// pointer load suffices — zero locks, zero allocations, zero contention
+// with writers. Array-touching queries (ArcLoads, Path, Wavelength,
+// IsDark) pin the snapshot around the access. Every answer is exact as
+// of the latest publication boundary, i.e. at most one batch stale.
+
+// Stats reports the engine layout, overlay occupancy, per-lane traffic
+// shares and failure counters, from the current snapshot.
+func (e *ShardedEngine) Stats() EngineStats { return e.snap.Load().stats }
+
+// Len returns the number of live requests across all shards, from the
+// current snapshot.
+func (e *ShardedEngine) Len() int { return e.snap.Load().live }
+
+// Pi returns the load π of the live routing — the maximum over
+// components, exact under sub-sharding (see PiStrong for the aggregation
+// argument) — from the current snapshot.
+func (e *ShardedEngine) Pi() int { return e.snap.Load().pi }
+
+// DarkLive returns the number of entries parked dark across all lanes,
+// from the current snapshot.
+func (e *ShardedEngine) DarkLive() int { return e.snap.Load().dark }
+
+// NumFailedArcs reports how many arcs of the engine topology are cut,
+// from the current snapshot.
+func (e *ShardedEngine) NumFailedArcs() int { return e.snap.Load().stats.FailedArcs }
+
+// NumLambda returns the number of wavelengths in use (max over
+// components; a two-level component counts its region maximum plus its
+// overlay band), from the current snapshot. Engines running a deferred
+// coloring strategy fall back to the mutex-serialised strong read — a
+// deferred λ is a full solve, which publication does not pay per batch.
+func (e *ShardedEngine) NumLambda() (int, error) {
+	s := e.snap.Load()
+	if errors.Is(s.lambdaErr, errLambdaDeferred) {
+		return e.NumLambdaStrong()
+	}
+	return s.lambda, s.lambdaErr
+}
+
+// OverlayLambda returns the maximum overlay band across components
+// (see OverlayLambdaStrong), from the current snapshot; deferred
+// coloring strategies fall back to the strong read like NumLambda.
+func (e *ShardedEngine) OverlayLambda() (int, error) {
+	s := e.snap.Load()
+	if errors.Is(s.lambdaErr, errLambdaDeferred) {
+		return e.OverlayLambdaStrong()
+	}
+	return s.overlayLambda, s.lambdaErr
+}
+
+// ArcLoads returns the per-arc load vector over the engine's topology,
+// from the current snapshot. Use ArcLoadsInto to reuse a buffer.
+func (e *ShardedEngine) ArcLoads() []int { return e.ArcLoadsInto(nil) }
+
+// ArcLoadsInto copies the current snapshot's per-arc load vector into
+// dst, reusing its capacity — the allocation-free form of ArcLoads for
+// polling readers.
+func (e *ShardedEngine) ArcLoadsInto(dst []int) []int {
+	s := e.Snapshot()
+	dst = s.ArcLoadsInto(dst)
+	s.Release()
+	return dst
+}
+
+// Path returns the route of a live request as of the current snapshot,
+// in the engine topology's identifiers.
+func (e *ShardedEngine) Path(id ShardedID) (*dipath.Path, error) {
+	s := e.Snapshot()
+	r, sh, err := s.lookupRow(id)
+	s.Release()
+	if err != nil {
+		return nil, err
+	}
+	// The translation runs unpinned: the row's path object and the
+	// shard's identifier tables are immutable.
+	return sh.globalPath(e, r.path)
+}
+
+// Wavelength returns the wavelength of a live request as of the
+// current snapshot. Overlay lane wavelengths are reported in the
+// component's effective band (region maximum + overlay class) as of the
+// same boundary; -1 when parked dark or assignment is deferred.
+func (e *ShardedEngine) Wavelength(id ShardedID) (int, error) {
+	s := e.Snapshot()
+	w, err := s.Wavelength(id)
+	s.Release()
+	return w, err
+}
+
+// IsDark reports whether the request is parked dark, as of the current
+// snapshot.
+func (e *ShardedEngine) IsDark(id ShardedID) (bool, error) {
+	s := e.Snapshot()
+	dark, err := s.IsDark(id)
+	s.Release()
+	return dark, err
+}
+
+// ── Publication ────────────────────────────────────────────────────────
+
+// getTable takes a table from the pool resized to n rows.
+func (e *ShardedEngine) getTable(n int) *snapTable {
+	t, _ := e.tablePool.Get().(*snapTable)
+	if t == nil {
+		t = new(snapTable)
+	}
+	if cap(t.rows) < n {
+		t.rows = make([]snapRow, n)
+	} else {
+		t.rows = t.rows[:n]
+	}
+	return t
+}
+
+// getVec takes an arc-load vector from the pool resized to n.
+func (e *ShardedEngine) getVec(n int) *snapVec {
+	v, _ := e.vecPool.Get().(*snapVec)
+	if v == nil {
+		v = new(snapVec)
+	}
+	if cap(v.arr) < n {
+		v.arr = make([]int, n)
+	} else {
+		v.arr = v.arr[:n]
+	}
+	return v
+}
+
+// snapDirty reports whether any of the component's shards mutated since
+// the last publication.
+func (c *engineComponent) snapDirty() bool {
+	if !c.twoLevel() {
+		return c.plain.dirty
+	}
+	if c.overlay.dirty {
+		return true
+	}
+	for _, rs := range c.regionShards {
+		if rs.dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// markAllDirty flags every shard of the component for a table rebuild
+// at the next publication — the coarse mark the (rare) failure events
+// and revival sweeps use, since their storms can touch any lane.
+func (c *engineComponent) markAllDirty() {
+	if !c.twoLevel() {
+		c.plain.dirty = true
+		return
+	}
+	for _, rs := range c.regionShards {
+		rs.dirty = true
+	}
+	c.overlay.dirty = true
+}
+
+// refreshCompAggregates recomputes a component's cached snapshot
+// aggregates (λ with its banding base, π, live and dark counts) from
+// its live sessions. Called under e.mu for components the last interval
+// dirtied; clean components keep their cache.
+func (e *ShardedEngine) refreshCompAggregates(c *engineComponent) {
+	if !c.twoLevel() {
+		c.aggRegionBase = 0
+		c.aggOverlayLambda = 0
+		c.aggPi = c.plain.sess.Pi()
+		c.aggLive = c.plain.sess.Len()
+		c.aggDark = c.plain.sess.DarkLive()
+		if !e.lambdaEager {
+			c.aggLambda, c.aggLambdaErr = 0, errLambdaDeferred
+			return
+		}
+		c.aggLambda, c.aggLambdaErr = c.plain.sess.NumLambda()
+		return
+	}
+	c.aggPi = c.overlay.sess.tracker.Pi()
+	c.aggLive, c.aggDark = 0, 0
+	for _, rs := range c.regionShards {
+		c.aggLive += rs.sess.Len()
+		c.aggDark += rs.sess.DarkLive()
+	}
+	c.aggLive += c.overlay.sess.Len()
+	c.aggDark += c.overlay.sess.DarkLive()
+	if !e.lambdaEager {
+		c.aggRegionBase, c.aggOverlayLambda = 0, 0
+		c.aggLambda, c.aggLambdaErr = 0, errLambdaDeferred
+		return
+	}
+	base, err := c.regionLambdaMax()
+	if err != nil {
+		c.aggRegionBase, c.aggLambda, c.aggLambdaErr = 0, 0, err
+		return
+	}
+	on, err := c.overlay.sess.NumLambda()
+	if err != nil {
+		c.aggLambdaErr = fmt.Errorf("wdm: component %d overlay: %w", c.idx, err)
+		return
+	}
+	c.aggRegionBase = base
+	c.aggOverlayLambda = on
+	c.aggLambda = base + on
+	c.aggLambdaErr = nil
+}
+
+// publishLocked rebuilds the engine snapshot and publishes it. The
+// caller holds e.mu (or, at construction, exclusive access). Only dirty
+// shards rebuild their entry tables and only dirty components re-scatter
+// their loads and refresh their aggregates; everything else carries
+// over from the previous snapshot — tables by shared reference, the
+// load vector by copy (or shared outright when nothing moved).
+func (e *ShardedEngine) publishLocked() {
+	prev := e.snap.Load()
+	e.pubSeq++
+	next := &EngineSnapshot{
+		seq:    e.pubSeq,
+		epoch:  e.net.Topology.TopologyEpoch(),
+		closed: e.closed,
+		eng:    e,
+		tables: make([]*snapTable, len(e.shards)),
+	}
+	next.refs.Store(1)
+
+	// Component dirtiness, resolved before the table loop clears the
+	// per-shard flags. A dirty two-level component forces its overlay
+	// table dirty: overlay rows carry banded wavelengths, and the band's
+	// base (the region λ maximum) moves with region growth.
+	anyDirty := false
+	for i, c := range e.comps {
+		dirty := prev == nil || c.snapDirty()
+		e.snapCompDirty[i] = dirty
+		if dirty {
+			anyDirty = true
+			e.refreshCompAggregates(c)
+			if c.twoLevel() {
+				c.overlay.dirty = true
+			}
+		}
+	}
+
+	// Arc-load vector: shared when nothing moved, otherwise copied from
+	// the previous snapshot with dirty components re-scattered over it.
+	if !anyDirty && prev != nil {
+		next.loads = prev.loads
+		next.loads.refs.Add(1)
+	} else {
+		vec := e.getVec(e.net.Topology.NumArcs())
+		if prev != nil {
+			copy(vec.arr, prev.loads.arr)
+		}
+		for i, c := range e.comps {
+			if prev != nil && !e.snapCompDirty[i] {
+				continue
+			}
+			if c.twoLevel() {
+				// The overlay tracker is the component's combined view.
+				c.overlay.sess.tracker.ScatterLoads(vec.arr, c.view.ToGlobalArc)
+			} else {
+				c.plain.sess.tracker.ScatterLoads(vec.arr, c.view.ToGlobalArc)
+			}
+		}
+		vec.refs.Store(1)
+		next.loads = vec
+	}
+
+	// Entry tables: rebuild dirty shards from their sessions, share the
+	// rest with the previous snapshot.
+	for i, sh := range e.shards {
+		if prev != nil && !sh.dirty {
+			t := prev.tables[i]
+			t.refs.Add(1)
+			next.tables[i] = t
+			continue
+		}
+		t := e.getTable(len(sh.sess.entries))
+		band := 0
+		if sh.kind == shardOverlay {
+			band = sh.comp.aggRegionBase
+		}
+		sh.sess.fillSnapshotRows(t.rows, band)
+		t.refs.Store(1)
+		next.tables[i] = t
+		sh.dirty = false
+	}
+
+	// Global aggregates from the per-component caches, and the stats
+	// block (O(shards) of constant-time counter reads).
+	for _, c := range e.comps {
+		if c.aggLambdaErr != nil && next.lambdaErr == nil {
+			next.lambdaErr = c.aggLambdaErr
+		}
+		if c.aggLambda > next.lambda {
+			next.lambda = c.aggLambda
+		}
+		if c.aggOverlayLambda > next.overlayLambda {
+			next.overlayLambda = c.aggOverlayLambda
+		}
+		if c.aggPi > next.pi {
+			next.pi = c.aggPi
+		}
+		next.live += c.aggLive
+		next.dark += c.aggDark
+	}
+	next.stats = e.statsLocked()
+
+	e.snap.Store(next)
+	if prev != nil {
+		prev.Release() // drop the publisher reference
+	}
+}

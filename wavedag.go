@@ -162,13 +162,44 @@
 // ApplyBatch runs on a persistent worker pool started at engine
 // construction — batches pay no goroutine-spawn cost, however small —
 // and Close stops the pool: in-flight batches finish first, later
-// mutations fail with ErrEngineClosed, and queries keep answering on
-// the frozen state. Both the sharded dispatcher and the plain Router
+// mutations fail with ErrEngineClosed, and queries keep answering —
+// lock-free — from the final published snapshot (next section). Both
+// the sharded dispatcher and the plain Router
 // reject infeasible cross-component requests in O(1) from component
 // labels (the Router computes them lazily, on its first exhausted
 // search) instead of repeating exhausted searches. ApplyBatchInto is
 // ApplyBatch with a caller-pooled results buffer — steady-state batch
 // loops recycle one slice instead of allocating per call.
+//
+// # Lock-free query plane
+//
+// Reads never block writes. At every mutation boundary — each
+// ApplyBatch (and single-op Add/Remove), FailArc, RestoreArc, Revive
+// and Close — the engine publishes an immutable EngineSnapshot through
+// one atomic pointer, rebuilt incrementally: only the shards the event
+// touched re-materialise their lookup tables and re-scatter their
+// loads; untouched shards share their backing arrays with the previous
+// snapshot. The read-only API (Stats, Len, Pi, NumLambda,
+// OverlayLambda, DarkLive, NumFailedArcs, ArcLoads/ArcLoadsInto, Path,
+// Wavelength, IsDark) answers from the current snapshot without
+// touching the engine mutex: scalar queries are one atomic load plus a
+// field read, zero allocations; ArcLoadsInto copies into a
+// caller-reused buffer, also allocation-free; ArcLoads allocates only
+// its returned copy.
+//
+// The staleness contract: a snapshot is an exact, internally
+// consistent image of the engine at a mutation boundary, at most one
+// event behind the strong reads — and never behind for the caller that
+// applied the event, because publication happens before the mutation
+// returns. Queries therefore always agree with each other when asked
+// of one pinned snapshot (ShardedEngine.Snapshot, released with
+// EngineSnapshot.Release; retired buffers recycle through pools only
+// after the last pin drops). Every query also has a ...Strong variant
+// that takes the engine mutex and reads live state — the linearizable
+// form, and the fallback NumLambda/OverlayLambda use when a non-default
+// coloring strategy prices λ lazily (a full solve is too expensive to
+// pay at every publication). Provisioning and Verify, which
+// materialise merged state, always run under the mutex.
 //
 // # Admission control & budgets
 //
@@ -374,6 +405,11 @@ type (
 	// LaneStats aggregates one engine lane flavour's traffic and
 	// admission outcomes.
 	LaneStats = wdm.LaneStats
+	// EngineSnapshot is one atomically-published immutable image of a
+	// ShardedEngine at a mutation boundary — the substrate of the
+	// lock-free query plane (pin one with ShardedEngine.Snapshot, see
+	// the "Lock-free query plane" section).
+	EngineSnapshot = wdm.EngineSnapshot
 	// Admission is the outcome of one budgeted admission decision (see
 	// Session.TryAdd).
 	Admission = wdm.Admission
@@ -410,7 +446,8 @@ type (
 )
 
 // ErrEngineClosed is returned by mutating ShardedEngine methods after
-// Close; queries keep working on the frozen state.
+// Close; queries keep answering, lock-free, from the final published
+// snapshot.
 var ErrEngineClosed = wdm.ErrEngineClosed
 
 // ErrBudgetExceeded is the sentinel wrapped by Add (and batch results)

@@ -233,3 +233,49 @@ func TestAdmissionFacade(t *testing.T) {
 		t.Fatalf("engine stats %+v", st)
 	}
 }
+
+// TestSnapshotFacade exercises the lock-free query plane through the
+// facade: the snapshot-backed engine reads, their ...Strong
+// counterparts, and a pinned wavedag.EngineSnapshot surviving churn
+// and Close.
+func TestSnapshotFacade(t *testing.T) {
+	g := wavedag.NewGraph(4)
+	g.MustAddArc(0, 1)
+	g.MustAddArc(1, 2)
+	g.MustAddArc(2, 3)
+	net := &wavedag.Network{Topology: g}
+	eng, err := net.NewShardedEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := eng.Add(wavedag.Request{Src: 0, Dst: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Len() != 1 || eng.LenStrong() != 1 || eng.Pi() != eng.PiStrong() {
+		t.Fatalf("lock-free reads disagree with strong reads: len %d/%d", eng.Len(), eng.LenStrong())
+	}
+	if w, err := eng.Wavelength(id); err != nil || w < 0 {
+		t.Fatalf("Wavelength = %d (%v)", w, err)
+	}
+	var snap *wavedag.EngineSnapshot = eng.Snapshot()
+	defer snap.Release()
+	if _, err := eng.Add(wavedag.Request{Src: 1, Dst: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 1 || eng.Len() != 2 {
+		t.Fatalf("pinned snapshot len %d (want 1), live len %d (want 2)", snap.Len(), eng.Len())
+	}
+	buf := eng.ArcLoadsInto(nil)
+	if len(buf) != 3 {
+		t.Fatalf("ArcLoadsInto len = %d", len(buf))
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := eng.Snapshot()
+	defer final.Release()
+	if !final.Closed() || eng.Len() != 2 {
+		t.Fatalf("post-Close: closed=%v len=%d", final.Closed(), eng.Len())
+	}
+}
