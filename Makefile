@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify benchsmoke benchsmoke-sharded benchsmoke-subshard benchsmoke-admission benchsmoke-survive benchsmoke-snapshot bench test
+.PHONY: verify benchsmoke benchsmoke-sharded benchsmoke-subshard benchsmoke-admission benchsmoke-survive benchsmoke-snapshot benchsmoke-serve bench test
 
 verify:
 	$(GO) build ./...
@@ -47,6 +47,13 @@ benchsmoke-survive:
 # GOMAXPROCS settings, so the snapshot publication path cannot rot.
 benchsmoke-snapshot:
 	$(GO) test -run=NONE -bench='SnapshotQuery|SnapshotReaders' -benchtime=1x -cpu=1,4 ./...
+
+# Serving front-end smoke: the write coalescer under concurrent
+# closed-loop submitters (blocking backpressure) and the shed fast path
+# under sustained overload, at two GOMAXPROCS settings, so the
+# submission/dispatch path cannot silently rot.
+benchsmoke-serve:
+	$(GO) test -run=NONE -bench='ServeCoalesce|ServeShedding' -benchtime=1x -cpu=1,4 ./...
 
 bench:
 	$(GO) run ./cmd/bench -benchtime 1s -out bench-latest.json

@@ -5,14 +5,16 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-out bench.json] [-benchtime 1s] [-large] [-survive] [-readers 0,4]
+//	go run ./cmd/bench [-out bench.json] [-benchtime 1s] [-large] [-survive] [-readers 0,4] [-serve]
 //
 // -survive adds the survivability sweep (fiber-cut churn over a 3-point
 // MTBF axis plus the sharded-engine counterpart); its snapshots land in
 // BENCH_PR6.json. -readers sets the reader-goroutine axis of the
 // query-plane sweep (lock-free snapshot reads vs mutex-serialised
 // ...Strong reads under write churn); its snapshots land in
-// BENCH_PR7.json.
+// BENCH_PR7.json. -serve adds the serving front-end sweep (open-loop
+// Poisson load at {0.5, 1, 2}× measured capacity, shedding on vs
+// blocking backpressure); its snapshots land in BENCH_PR8.json.
 //
 // The E-suite entries mirror bench_test.go so snapshots line up with
 // `go test -bench=.`; the large entries (Theorem 1 at n=500/paths=5000,
@@ -58,6 +60,7 @@ func main() {
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark")
 	large := flag.Bool("large", true, "include the large-instance workloads")
 	survive := flag.Bool("survive", false, "include the survivability (fiber-cut) sweep")
+	serveSweep := flag.Bool("serve", false, "include the serving front-end (open-loop overload) sweep")
 	cpus := flag.String("cpus", "1,2,4", "comma-separated worker counts for the sharded churn sweep")
 	subshard := flag.String("subshard", "0,64", "comma-separated sub-shard thresholds for the giant-component sweep (0 = off)")
 	readers := flag.String("readers", "0,4", "comma-separated reader-goroutine counts for the query-plane sweep")
@@ -102,7 +105,7 @@ func main() {
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
 
-	for _, b := range suite(*large, *survive, cpuList, subshardList, readerList) {
+	for _, b := range suite(*large, *survive, *serveSweep, cpuList, subshardList, readerList) {
 		run(b.name, b.fn)
 	}
 
@@ -152,8 +155,9 @@ type bench struct {
 // the timed loop, exactly as in bench_test.go. cpus is the worker-count
 // axis of the sharded churn sweeps; subshards the threshold axis of the
 // giant-component sweep; readers the reader-goroutine axis of the
-// query-plane sweep; survive adds the fiber-cut sweep.
-func suite(large, survive bool, cpus, subshards, readers []int) []bench {
+// query-plane sweep; survive adds the fiber-cut sweep; serveSweep the
+// serving front-end overload sweep.
+func suite(large, survive, serveSweep bool, cpus, subshards, readers []int) []bench {
 	var benches []bench
 	add := func(name string, fn func(b *testing.B)) {
 		benches = append(benches, bench{name, fn})
@@ -397,6 +401,16 @@ func suite(large, survive bool, cpus, subshards, readers []int) []bench {
 		label := fmt.Sprintf("giant-P=4-n=%d-paths=400", g.NumVertices())
 		benches = append(benches, giantChurnBenches(label, g, pool, 400, 64, subshards, cpus, 49)...)
 		benches = append(benches, provisioningMergeBenches(label, g, pool, 400, 51)...)
+	}
+
+	// Serving front-end sweep: the write coalescer under open-loop
+	// Poisson load at {0.5, 1, 2}× its own measured closed-loop
+	// capacity, shedding on (bounded queue, shed verdicts) vs off
+	// (blocking backpressure), on the 4-component topology.
+	if serveSweep {
+		g := multiShard(4, 40, 21)
+		pool := route.NewRouter(g).AllToAll()
+		benches = append(benches, serveBenches("C=4-n=160", g, pool, 71)...)
 	}
 
 	// Survivability sweep: fiber-cut churn on the admission topology

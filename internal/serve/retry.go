@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds a Client's retry loop: at most MaxAttempts total
+// submissions per request, waiting between attempts the larger of the
+// server's RetryAfter hint and a jittered exponential backoff starting
+// at Base (doubling per attempt, capped at Max).
+type RetryPolicy struct {
+	MaxAttempts int
+	Base        time.Duration
+	Max         time.Duration
+}
+
+// DefaultRetryPolicy is the Client's policy when none is set: 4
+// attempts, 1ms first backoff, 50ms ceiling.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 4, Base: time.Millisecond, Max: 50 * time.Millisecond}
+
+// Client wraps a Server with the caller-side half of the retry
+// contract: Do resubmits transient failures (shed verdicts, budget
+// rejections the server did not absorb) under the policy's attempt
+// budget, honoring RetryAfter hints, and returns the first permanent
+// outcome. Safe for concurrent use.
+type Client struct {
+	srv    *Server
+	policy RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient builds a Client over srv. A zero policy means
+// DefaultRetryPolicy. seed fixes the backoff jitter.
+func NewClient(srv *Server, policy RetryPolicy, seed int64) *Client {
+	if policy.MaxAttempts == 0 {
+		policy = DefaultRetryPolicy
+	}
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	if policy.Base <= 0 {
+		policy.Base = DefaultRetryPolicy.Base
+	}
+	if policy.Max < policy.Base {
+		policy.Max = policy.Base
+	}
+	return &Client{srv: srv, policy: policy, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Do submits req, retrying transient outcomes with jittered backoff
+// until an ack, a permanent error, the attempt budget, or ctx expires.
+// The returned Response's Attempts field is rewritten to the total
+// submission count this call consumed (client attempts, not just the
+// last submission's server-side count).
+func (c *Client) Do(ctx context.Context, req Request) Response {
+	var resp Response
+	for attempt := 1; ; attempt++ {
+		resp = c.srv.Submit(ctx, req)
+		resp.Attempts = attempt
+		if resp.Err == nil || !IsTransient(resp.Err) || attempt >= c.policy.MaxAttempts {
+			return resp
+		}
+		wait := c.backoff(attempt)
+		if resp.RetryAfter > wait {
+			wait = resp.RetryAfter
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			resp.Err = ctx.Err()
+			return resp
+		}
+	}
+}
+
+// backoff returns the full-jitter exponential delay for the given
+// completed attempt count: uniform in (0, min(Base·2^(attempt-1), Max)].
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.policy.Base << uint(attempt-1)
+	if d > c.policy.Max || d <= 0 {
+		d = c.policy.Max
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d))) + 1
+	c.mu.Unlock()
+	return j
+}

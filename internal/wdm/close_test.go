@@ -1,0 +1,149 @@
+package wdm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"wavedag/internal/route"
+)
+
+// TestEngineCloseIdempotent pins the Close contract the serving
+// front-end's graceful drain relies on: Close returns nil however many
+// times it is called (sequentially or concurrently), mutations after
+// Close are definitively rejected with ErrEngineClosed, and the whole
+// query plane keeps answering from the final published snapshot.
+func TestEngineCloseIdempotent(t *testing.T) {
+	net := multiComponentNetwork(t, 3, 131)
+	eng, err := net.NewShardedEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := route.NewRouter(net.Topology).AllToAll()
+	var ids []ShardedID
+	for i := 0; i < 6; i++ {
+		id, err := eng.Add(pool[i%len(pool)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	liveBefore, piBefore := eng.Len(), eng.Pi()
+
+	if err := eng.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := eng.Close(); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Mutations are definitively rejected...
+	if _, err := eng.Add(pool[0]); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Add post-close: %v", err)
+	}
+	if err := eng.Remove(ids[0]); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Remove post-close: %v", err)
+	}
+	if _, err := eng.FailArc(0); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("FailArc post-close: %v", err)
+	}
+	ops := []BatchOp{AddOp(pool[0]), RemoveOp(ids[1])}
+	for i, res := range eng.ApplyBatchInto(ops, nil) {
+		if !errors.Is(res.Err, ErrEngineClosed) {
+			t.Fatalf("batch op %d post-close: %v", i, res.Err)
+		}
+	}
+	// ...and none of the rejections touched state: the query plane
+	// still answers the pre-close values from the final snapshot.
+	if got := eng.Len(); got != liveBefore {
+		t.Fatalf("Len post-close = %d, want %d", got, liveBefore)
+	}
+	if got := eng.Pi(); got != piBefore {
+		t.Fatalf("Pi post-close = %d, want %d", got, piBefore)
+	}
+	for _, id := range ids {
+		if _, err := eng.Path(id); err != nil {
+			t.Fatalf("Path(%v) post-close: %v", id, err)
+		}
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatalf("Verify post-close: %v", err)
+	}
+}
+
+// TestEngineCloseRacesBatches hammers Close against in-flight batches
+// from many goroutines: every batch op must resolve definitively
+// (applied or ErrEngineClosed, never a hang or partial silence), and
+// once everything settles the engine must be cleanly closed with a
+// consistent final snapshot.
+func TestEngineCloseRacesBatches(t *testing.T) {
+	net := multiComponentNetwork(t, 2, 137)
+	eng, err := net.NewShardedEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := route.NewRouter(net.Topology).AllToAll()
+
+	const writers = 4
+	var wg sync.WaitGroup
+	applied := make([]int, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ops := make([]BatchOp, 0, 4)
+			var results []BatchResult
+			for i := 0; i < 50; i++ {
+				ops = ops[:0]
+				for j := 0; j < 4; j++ {
+					ops = append(ops, AddOp(pool[(w*50+i*4+j)%len(pool)]))
+				}
+				results = eng.ApplyBatchInto(ops, results)
+				for _, res := range results {
+					switch {
+					case res.Err == nil:
+						applied[w]++
+					case errors.Is(res.Err, ErrEngineClosed):
+					default:
+						t.Errorf("writer %d: %v", w, res.Err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(2)
+	for c := 0; c < 2; c++ {
+		go func() {
+			defer wg.Done()
+			if err := eng.Close(); err != nil {
+				t.Errorf("racing close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for _, n := range applied {
+		total += n
+	}
+	if got := eng.Len(); got != total {
+		t.Fatalf("final snapshot live = %d, want %d applied adds", got, total)
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("close after race: %v", err)
+	}
+}

@@ -290,6 +290,52 @@
 // cut/repair event stream ([]FaultEvent) over a topology's arcs, the
 // workload `go run ./cmd/bench -survive` replays against churn.
 //
+// # Serving & overload
+//
+// The library becomes a process through the serving front-end: a
+// Server (NewServer) wraps a ShardedEngine's write path behind a
+// bounded submission queue and a write coalescer — one dispatcher
+// accumulates concurrent Submit calls into ApplyBatch batches under a
+// maximum batch size and a latency cap (WithMaxBatch /
+// WithLatencyCap), amortising the engine fan-out without asking
+// callers to assemble batches themselves. Reads never queue: the
+// lock-free query plane already answers from any goroutine.
+//
+// The serving contract is exactly-one-definitive-response: every
+// submission terminates in precisely one of
+//
+//   - an ack, carrying the engine result (assigned id, reroute
+//     outcome, storm report);
+//   - a terminal error (no route, unknown session, budget exhaustion
+//     after retries, ErrServerClosed, a panic isolated to that one
+//     request);
+//   - a shed verdict: under overload — queue full or past WithShedDepth
+//     — the server refuses new work immediately with ErrShed and a
+//     RetryAfter hint derived from the measured per-op service time,
+//     keeping accepted-write latency flat instead of letting the queue
+//     collapse into seconds of wait (WithBlockingBackpressure trades
+//     shedding back for blocking, the measured comparison axis);
+//   - a deadline expiry: a context deadline travels with the request
+//     and a request that expires while queued is answered with
+//     ErrDeadlineExceeded before any engine work is spent on it.
+//
+// Transient failures retry with jittered exponential backoff, bounded
+// and deadline-aware, on either side of the queue: WithServerRetry
+// re-coalesces ErrBudgetExceeded rejections inside the server;
+// ServeClient.Do resubmits shed verdicts from the caller's side,
+// honouring RetryAfter. Permanent errors are never retried
+// (IsTransient is the classifier). Shutdown drains gracefully: intake
+// stops, the queue and retry backlog flush so every accepted request
+// is answered, then the engine closes — queries keep serving from the
+// final snapshot. The open-loop Poisson driver (NewPoissonArrivals,
+// with a configurable rate ramp) exists to push this machinery past
+// saturation honestly; `go run ./cmd/bench -serve` measures sustained
+// events/sec, accepted-write p50/p99, shed% and drain time at offered
+// loads around measured capacity, and `go run ./cmd/served` is the
+// HTTP/JSON binary over the same front-end. The chaos soak
+// (concurrent writers + fault storms + budget pressure) pins the
+// exactly-once contract under -race.
+//
 // BENCH_PR1.json records the measured baseline (ns/op, B/op, allocs/op,
 // before/after) for the E1–E12 experiment pipelines and the large-
 // instance workloads of cmd/bench; BENCH_PR2.json adds the churn
@@ -301,14 +347,19 @@
 // the small-batch worker-pool numbers and the trusted-translation merge
 // cost; BENCH_PR6.json adds the survivability sweep (restoration
 // latency, restored%, parked/revived counts and budget violations over
-// a 3-point MTBF axis); `make benchsmoke` (and `make
-// benchsmoke-survive`) keeps every benchmark compiling and running.
+// a 3-point MTBF axis); BENCH_PR8.json adds the serving sweep (offered
+// load at {0.5x, 1x, 2x} of measured capacity: throughput, accepted-
+// write p50/p99, shed%, drain time, shedding on vs off); `make
+// benchsmoke` (and `make benchsmoke-survive`, `make benchsmoke-serve`)
+// keeps every benchmark compiling and running.
 //
 // The sub-packages under internal/ hold the implementation; this package
 // re-exports the stable API.
 package wavedag
 
 import (
+	"time"
+
 	"wavedag/internal/conflict"
 	"wavedag/internal/core"
 	"wavedag/internal/cycles"
@@ -318,6 +369,7 @@ import (
 	"wavedag/internal/groom"
 	"wavedag/internal/load"
 	"wavedag/internal/route"
+	"wavedag/internal/serve"
 	"wavedag/internal/upp"
 	"wavedag/internal/wdm"
 )
@@ -443,6 +495,30 @@ type (
 	// FaultEvent is one cut or repair of a fault schedule (see
 	// NewFaultSchedule).
 	FaultEvent = gen.FaultEvent
+	// Server is the robust serving front-end over a ShardedEngine:
+	// write coalescing, deadlines, load shedding, retry and graceful
+	// drain (open one with NewServer; see the "Serving & overload"
+	// section).
+	Server = serve.Server
+	// ServeOption configures NewServer.
+	ServeOption = serve.Option
+	// ServeRequest is one write submitted to a Server (build with
+	// AddRequest, RemoveRequest, RerouteRequest, FailArcRequest,
+	// RestoreArcRequest).
+	ServeRequest = serve.Request
+	// ServeResponse is the definitive outcome of one submitted request.
+	ServeResponse = serve.Response
+	// ServeClient wraps a Server with client-side retry/backoff for
+	// transient outcomes (see NewServeClient).
+	ServeClient = serve.Client
+	// RetryPolicy bounds a ServeClient's retry loop.
+	RetryPolicy = serve.RetryPolicy
+	// ServerStats counts a Server's cumulative outcomes: every
+	// submission lands in exactly one of acked/failed/shed/expired.
+	ServerStats = serve.ServerStats
+	// PoissonArrivals is an open-loop (optionally rate-ramped) Poisson
+	// arrival stream for overload experiments (see NewPoissonArrivals).
+	PoissonArrivals = gen.PoissonArrivals
 )
 
 // ErrEngineClosed is returned by mutating ShardedEngine methods after
@@ -460,6 +536,19 @@ var ErrBudgetExceeded = wdm.ErrBudgetExceeded
 // removed, or recycled to a later generation. The failing call mutates
 // nothing.
 var ErrUnknownSession = wdm.ErrUnknownSession
+
+// ErrShed is the load-shedding verdict of a saturated Server: the
+// request was refused before queueing, with a RetryAfter hint in the
+// response. Shed outcomes are transient — ServeClient.Do retries them.
+var ErrShed = serve.ErrShed
+
+// ErrServerClosed answers submissions after Server.Shutdown began.
+var ErrServerClosed = serve.ErrServerClosed
+
+// IsTransient reports whether a serving error is worth retrying after
+// backoff (shed verdicts, budget rejections); permanent errors — no
+// route, unknown session, expired deadline, closed server — are not.
+func IsTransient(err error) bool { return serve.IsTransient(err) }
 
 // Names of the built-in admission strategies.
 const (
@@ -725,6 +814,77 @@ func NewLoadTrackerFromFamily(g *Graph, fam Family) *LoadTracker {
 // Replaying it in order against FailArc/RestoreArc is always valid.
 func NewFaultSchedule(g *Graph, mtbf, mttr, horizon float64, seed int64) ([]FaultEvent, error) {
 	return gen.FaultSchedule(g, mtbf, mttr, horizon, seed)
+}
+
+// Serving front-end, re-exported from the serve layer (see the
+// "Serving & overload" section).
+
+// NewServer starts a serving front-end over eng: submissions coalesce
+// into engine batches under a latency cap, with deadlines, load
+// shedding, bounded retry and graceful drain. The Server takes over
+// eng's write path; Server.Shutdown drains and closes both.
+func NewServer(eng *ShardedEngine, opts ...ServeOption) (*Server, error) {
+	return serve.New(eng, opts...)
+}
+
+// NewServeClient wraps srv with client-side retry: Do resubmits
+// transient outcomes (shed verdicts, budget rejections) under the
+// policy's attempt budget with jittered backoff, honouring the
+// server's RetryAfter hints. A zero policy selects the default.
+func NewServeClient(srv *Server, policy RetryPolicy, seed int64) *ServeClient {
+	return serve.NewClient(srv, policy, seed)
+}
+
+// AddRequest submits a provisioning demand from src to dst.
+func AddRequest(src, dst Vertex) ServeRequest { return serve.AddRequest(src, dst) }
+
+// RemoveRequest tears down the request with the given id.
+func RemoveRequest(id ShardedID) ServeRequest { return serve.RemoveRequest(id) }
+
+// RerouteRequest re-routes the request with the given id.
+func RerouteRequest(id ShardedID) ServeRequest { return serve.RerouteRequest(id) }
+
+// FailArcRequest injects a fiber cut on arc a through the coalescer
+// (a barrier op: it flushes the batch under construction first).
+func FailArcRequest(a ArcID) ServeRequest { return serve.FailArcRequest(a) }
+
+// RestoreArcRequest repairs the cut on arc a through the coalescer.
+func RestoreArcRequest(a ArcID) ServeRequest { return serve.RestoreArcRequest(a) }
+
+// WithMaxBatch caps how many coalesced ops one engine batch may carry.
+func WithMaxBatch(n int) ServeOption { return serve.WithMaxBatch(n) }
+
+// WithLatencyCap bounds how long the first request of a batch may wait
+// for co-batched company before the batch applies anyway.
+func WithLatencyCap(d time.Duration) ServeOption { return serve.WithLatencyCap(d) }
+
+// WithQueueCapacity sets the Server's submission queue bound.
+func WithQueueCapacity(n int) ServeOption { return serve.WithQueueCapacity(n) }
+
+// WithShedDepth sets the queue depth at which submissions start
+// shedding (default: shed only when the queue is full).
+func WithShedDepth(n int) ServeOption { return serve.WithShedDepth(n) }
+
+// WithBlockingBackpressure disables load shedding: submissions to a
+// full queue block (bounded by their context) instead of shedding.
+func WithBlockingBackpressure() ServeOption { return serve.WithBlockingBackpressure() }
+
+// WithServerRetry retries transient engine rejections inside the
+// server: up to attempts total applications per request, re-coalesced
+// after jittered exponential backoff between base and max.
+func WithServerRetry(attempts int, base, max time.Duration) ServeOption {
+	return serve.WithServerRetry(attempts, base, max)
+}
+
+// WithServeSeed fixes the Server's backoff-jitter seed, making retry
+// schedules deterministic for tests and benchmarks.
+func WithServeSeed(seed int64) ServeOption { return serve.WithSeed(seed) }
+
+// NewPoissonArrivals builds an open-loop Poisson arrival stream at the
+// given rate (events per unit time), deterministic in seed; SetRamp
+// adds a linear rate ramp for overload experiments.
+func NewPoissonArrivals(rate float64, seed int64) (*PoissonArrivals, error) {
+	return gen.NewPoissonArrivals(rate, seed)
 }
 
 // Constructions from the paper, for experimentation and testing.
