@@ -5,12 +5,26 @@
 
 GO ?= go
 
-.PHONY: verify benchsmoke benchsmoke-sharded benchsmoke-subshard benchsmoke-admission benchsmoke-survive benchsmoke-snapshot benchsmoke-serve bench test
+.PHONY: verify lint fuzzsmoke benchsmoke benchsmoke-sharded benchsmoke-subshard benchsmoke-admission benchsmoke-survive benchsmoke-snapshot benchsmoke-serve bench test
 
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
+	$(MAKE) lint
+
+# wavedaglint enforces the concurrency and admission contracts
+# (lockfree, publish, poolpair, errwrap, registry — see the "Static
+# analysis & invariants" section of the package docs). Exit 1 with
+# file:line diagnostics on any violation.
+lint:
+	$(GO) run ./cmd/wavedaglint ./...
+
+# Ten seconds per fuzz target: enough to exercise the generators and
+# the oracles on every CI run without turning the gate into a soak.
+fuzzsmoke:
+	$(GO) test -run=NONE -fuzz=FuzzTheorem1Precheck -fuzztime=10s ./internal/wdm
+	$(GO) test -run=NONE -fuzz=FuzzPartitionRegions -fuzztime=10s ./internal/digraph
 
 test: verify
 

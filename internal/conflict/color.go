@@ -548,6 +548,10 @@ func (ws *colorWS) init(g *Graph, k int) {
 // component worker pool acquires per solve).
 var colorWSPool = sync.Pool{New: func() any { return new(colorWS) }}
 
+// acquireColorWS takes a workspace for one solve; the caller returns
+// it through releaseColorWS when the solve finishes.
+//
+//wavedag:pool-handoff
 func acquireColorWS(g *Graph, k int) *colorWS {
 	ws := colorWSPool.Get().(*colorWS)
 	ws.init(g, k)

@@ -1,0 +1,91 @@
+package digraph
+
+import "testing"
+
+// FuzzPartitionRegions checks the structural contract the two-level
+// engine is built on, on random DAGs (arcs oriented low→high vertex,
+// parallel arcs allowed): regions partition the arcs — every arc lies
+// in exactly one region with consistent LocalArc/ToGlobalArc and
+// endpoint translations — and two regions meet only at vertices
+// reported as cut vertices.
+func FuzzPartitionRegions(f *testing.F) {
+	f.Add([]byte{6, 0, 1, 1, 2, 2, 3, 0, 3, 3, 4, 4, 5, 3, 5})
+	f.Add([]byte{4, 0, 1, 0, 1, 1, 2, 2, 3})
+	f.Add([]byte{9, 0, 8, 1, 7, 2, 6, 3, 5, 4, 8, 0, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			t.Skip("not enough bytes")
+		}
+		n := 2 + int(data[0]%20)
+		g := New(n)
+		for i := 1; i+1 < len(data); i += 2 {
+			u := int(data[i]) % n
+			v := int(data[i+1]) % n
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u // orient low→high: always a DAG
+			}
+			if _, err := g.AddArc(Vertex(u), Vertex(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := g.PartitionRegions()
+
+		// Arc partition: every arc in exactly one region, with exact
+		// identifier and endpoint translations both ways.
+		seen := make([]bool, g.NumArcs())
+		total := 0
+		for ri, view := range r.Views {
+			for la, ga := range view.ToGlobalArc {
+				if r.ArcRegion[ga] != int32(ri) {
+					t.Fatalf("arc %d listed by region %d but ArcRegion says %d", ga, ri, r.ArcRegion[ga])
+				}
+				if r.LocalArc[ga] != ArcID(la) {
+					t.Fatalf("arc %d: LocalArc=%d but view lists it as %d", ga, r.LocalArc[ga], la)
+				}
+				if seen[ga] {
+					t.Fatalf("arc %d appears in two regions", ga)
+				}
+				seen[ga] = true
+				total++
+				want, got := g.Arc(ga), view.G.Arc(ArcID(la))
+				if view.ToGlobalVertex[got.Tail] != want.Tail || view.ToGlobalVertex[got.Head] != want.Head {
+					t.Fatalf("arc %d endpoints translate to %v->%v, want %v->%v",
+						ga, view.ToGlobalVertex[got.Tail], view.ToGlobalVertex[got.Head], want.Tail, want.Head)
+				}
+			}
+		}
+		if total != g.NumArcs() {
+			t.Fatalf("regions cover %d arcs, graph has %d", total, g.NumArcs())
+		}
+
+		// Region views are standalone: their arc counts sum to the
+		// parent's (arc-disjointness in the aggregate).
+		sum := 0
+		for _, view := range r.Views {
+			sum += view.G.NumArcs()
+		}
+		if sum != g.NumArcs() {
+			t.Fatalf("region arc counts sum to %d, want %d", sum, g.NumArcs())
+		}
+
+		// Cut vertices are exactly the vertices shared by ≥2 regions,
+		// and the CSR memberships agree with the views.
+		memberships := make([]int, n)
+		for _, view := range r.Views {
+			for _, gv := range view.ToGlobalVertex {
+				memberships[gv]++
+			}
+		}
+		for v := 0; v < n; v++ {
+			if shared, cut := memberships[v] > 1, r.IsCutVertex(Vertex(v)); shared != cut {
+				t.Fatalf("vertex %d in %d regions but IsCutVertex=%v", v, memberships[v], cut)
+			}
+			if got := len(r.RegionsOf(Vertex(v))); got != memberships[v] {
+				t.Fatalf("vertex %d: RegionsOf lists %d memberships, views list %d", v, got, memberships[v])
+			}
+		}
+	})
+}

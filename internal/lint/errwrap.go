@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// errwrapAnalyzer enforces the sentinel-error discipline: package-level
+// error sentinels (ErrShed, ErrBudgetExceeded, ErrEngineClosed,
+// ErrUnknownSession, ...) must be matched with errors.Is — never with
+// == or != (or a switch case), which break the moment a layer wraps
+// the error — and an fmt.Errorf that forwards a sentinel must wrap it
+// with %w so errors.Is keeps seeing it through the new layer.
+var errwrapAnalyzer = &Analyzer{
+	Name: "errwrap",
+	Doc:  "sentinel errors must be wrapped with %w and tested via errors.Is, never ==/!=",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(c *Corpus, report func(pos token.Pos, format string, args ...any)) {
+	sentinels := map[types.Object]bool{}
+	for _, p := range c.Packages {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			v, ok := scope.Lookup(name).(*types.Var)
+			if !ok || !isErrorType(v.Type()) {
+				continue
+			}
+			if strings.HasPrefix(name, "Err") || strings.HasPrefix(name, "err") {
+				sentinels[v] = true
+			}
+		}
+	}
+
+	isSentinel := func(info *types.Info, e ast.Expr) (types.Object, bool) {
+		var id *ast.Ident
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		default:
+			return nil, false
+		}
+		obj := info.Uses[id]
+		return obj, obj != nil && sentinels[obj]
+	}
+
+	for _, p := range c.Packages {
+		info := p.Info
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.BinaryExpr:
+					if x.Op != token.EQL && x.Op != token.NEQ {
+						return true
+					}
+					for _, side := range []ast.Expr{x.X, x.Y} {
+						if obj, ok := isSentinel(info, side); ok {
+							report(x.Pos(), "sentinel %s compared with %s; use errors.Is", obj.Name(), x.Op)
+						}
+					}
+				case *ast.SwitchStmt:
+					if x.Tag == nil {
+						return true
+					}
+					for _, clause := range x.Body.List {
+						cc, ok := clause.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, e := range cc.List {
+							if obj, ok := isSentinel(info, e); ok {
+								report(e.Pos(), "sentinel %s matched in a switch case; use errors.Is", obj.Name())
+							}
+						}
+					}
+				case *ast.CallExpr:
+					if !stdObjCall(info, x, "fmt", "", "Errorf") || len(x.Args) < 2 {
+						return true
+					}
+					format, ok := constStringValue(info, x.Args[0])
+					if !ok {
+						return true
+					}
+					wraps := strings.Contains(format, "%w")
+					for _, arg := range x.Args[1:] {
+						if obj, isS := isSentinel(info, arg); isS && !wraps {
+							report(x.Pos(), "fmt.Errorf forwards sentinel %s without %%w; errors.Is will not see it", obj.Name())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+func constStringValue(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// poolpairAnalyzer enforces the buffer-recycling discipline of the
+// snapshot plane (and of any other sync.Pool user):
+//
+//   - a function that calls (*sync.Pool).Get must also call
+//     (*sync.Pool).Put, unless it carries //wavedag:pool-handoff — the
+//     documented ownership transfer (the snapshot publication path
+//     hands pooled tables to the published snapshot, which returns
+//     them through reclaim when the last reference drops);
+//   - a function annotated "//wavedag:acquire <Release>" pins a
+//     refcounted resource for its caller: every calling function must
+//     invoke the named release method or itself carry
+//     //wavedag:pool-handoff (it passes the pin on);
+//   - manipulating a reference counter — an Add/Store/Swap/CAS on an
+//     atomic field named "refs" — is confined to functions annotated
+//     //wavedag:refcount, keeping the acquire/release pairing
+//     auditable in one place.
+var poolpairAnalyzer = &Analyzer{
+	Name: "poolpair",
+	Doc:  "sync.Pool Get/Put and snapshot ref acquire/release must pair (or document their handoff)",
+	Run:  runPoolpair,
+}
+
+func runPoolpair(c *Corpus, report func(pos token.Pos, format string, args ...any)) {
+	// Acquire-annotated functions, keyed for call-site resolution.
+	type acquireInfo struct {
+		release string
+	}
+	acquires := map[string]acquireInfo{}
+	for key, fi := range c.funcs {
+		if rel, ok := fi.Directives[DirAcquire]; ok {
+			if rel == "" {
+				report(fi.Decl.Pos(), "%s: //wavedag:acquire needs the release method name as argument", fi.Obj.Name())
+				continue
+			}
+			acquires[key] = acquireInfo{release: rel}
+		}
+	}
+
+	for _, fi := range c.decls {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		info := fi.Pkg.Info
+		name := fi.Obj.Name()
+		handoff := fi.Has(DirPoolHandoff)
+		refcount := fi.Has(DirRefcount)
+
+		var getPos []token.Pos
+		hasPut := false
+		// pin site -> release method demanded
+		type pinSite struct {
+			pos     token.Pos
+			release string
+			callee  string
+		}
+		var pins []pinSite
+		released := map[string]bool{}
+
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if stdObjCall(info, call, "sync", "Pool", "Get") {
+				getPos = append(getPos, call.Pos())
+			}
+			if stdObjCall(info, call, "sync", "Pool", "Put") {
+				hasPut = true
+			}
+			if f := callee(info, call); f != nil {
+				if ai, ok := acquires[funcKey(f)]; ok && c.FuncFor(f) != fi {
+					pins = append(pins, pinSite{pos: call.Pos(), release: ai.release, callee: f.Name()})
+				}
+			}
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				released[sel.Sel.Name] = true
+				if !refcount && isRefsCounterOp(info, sel) {
+					report(call.Pos(), "%s manipulates a refs counter outside the //wavedag:refcount core", name)
+				}
+			}
+			return true
+		})
+
+		if len(getPos) > 0 && !hasPut && !handoff {
+			report(getPos[0], "%s calls sync.Pool.Get without a matching Put and no //wavedag:pool-handoff", name)
+		}
+		if !handoff {
+			for _, p := range pins {
+				if !released[p.release] {
+					report(p.pos, "%s pins a resource via %s but never calls %s (and has no //wavedag:pool-handoff)",
+						name, p.callee, p.release)
+				}
+			}
+		}
+	}
+}
+
+// isRefsCounterOp matches <expr>.refs.{Add,Store,Swap,CompareAndSwap}
+// where refs is a sync/atomic integer field.
+func isRefsCounterOp(info *types.Info, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Add", "Store", "Swap", "CompareAndSwap":
+	default:
+		return false
+	}
+	inner, ok := unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "refs" {
+		return false
+	}
+	tv, ok := info.Types[inner]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Int32", "Int64", "Uint32", "Uint64":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,655 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// publishAnalyzer enforces the snapshot staleness contract: on any
+// type that owns a sync.Mutex and a publishLocked method (the sharded
+// engine), every method that takes the mutex and mutates state rooted
+// at the receiver must reach publishLocked() — directly, through a
+// method that always publishes, or through a deferred call — on every
+// return path, so lock-free readers never observe a mutation that was
+// not followed by a publication.
+//
+// Mutation is detected syntactically but transitively: a method is a
+// mutator when it assigns through its receiver (or through locals
+// derived from it, range variables included) or calls another
+// in-module mutator method on a receiver-derived value; the module-
+// wide fixpoint makes `g.FailArc(a)` on the aliased topology or
+// `rs.sess.FailArc(...)` on an owned session count. Methods annotated
+// //wavedag:readonly (logically read-only cache refreshes) are
+// excluded. Two documented approximations: a mutating call whose
+// error result is immediately checked is trusted to have mutated
+// nothing on its error branch (the repo-wide no-mutation-on-error
+// convention) — but mutations from earlier calls still demand
+// publication there — and dynamic interface calls are invisible (the
+// concrete session/digraph chains carry the real mutations).
+var publishAnalyzer = &Analyzer{
+	Name: "publish",
+	Doc:  "mutations under the engine mutex must reach publishLocked() on every return path",
+	Run:  runPublish,
+}
+
+func runPublish(c *Corpus, report func(pos token.Pos, format string, args ...any)) {
+	m := newMutability(c)
+	for _, fi := range c.decls {
+		if fi.Decl.Body == nil || fi.Decl.Recv == nil {
+			continue
+		}
+		recvT := recvNamed(fi.Obj)
+		if recvT == nil || !m.engineTypes[recvT.Obj()] {
+			continue
+		}
+		facts := m.facts[fi]
+		if facts == nil || !facts.locks {
+			continue
+		}
+		w := &pubWalker{c: c, m: m, fi: fi, derived: facts.derived, report: report}
+		st, terminated := w.stmts(fi.Decl.Body.List, pubState{})
+		if !terminated {
+			w.checkReturn(fi.Decl.Body.Rbrace, st)
+		}
+	}
+}
+
+// recvNamed returns the (pointer-stripped) named receiver type of a
+// method.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// methodFacts is what the fixpoints need to know about one method.
+type methodFacts struct {
+	derived     map[string]bool // receiver + locals aliased from it
+	directWrite bool            // assigns through the receiver
+	locks       bool            // takes a sync lock on receiver state
+	calls       []*FuncInfo     // in-module concrete calls on derived-rooted receivers
+}
+
+// mutability holds the module-wide mutator and publisher fixpoints.
+type mutability struct {
+	c           *Corpus
+	engineTypes map[*types.TypeName]bool
+	facts       map[*FuncInfo]*methodFacts
+	mutator     map[*FuncInfo]bool
+	publisher   map[*FuncInfo]bool
+}
+
+func newMutability(c *Corpus) *mutability {
+	m := &mutability{
+		c:           c,
+		engineTypes: map[*types.TypeName]bool{},
+		facts:       map[*FuncInfo]*methodFacts{},
+		mutator:     map[*FuncInfo]bool{},
+		publisher:   map[*FuncInfo]bool{},
+	}
+	m.findEngineTypes()
+	for _, fi := range c.decls {
+		if fi.Decl.Recv != nil && fi.Decl.Body != nil {
+			m.facts[fi] = collectFacts(c, fi)
+		}
+	}
+	m.fixpointMutators()
+	m.fixpointPublishers()
+	return m
+}
+
+// findEngineTypes records every named struct owning a sync mutex field
+// and a publishLocked method.
+func (m *mutability) findEngineTypes() {
+	for _, p := range m.c.Packages {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			hasMutex := false
+			for i := 0; i < st.NumFields(); i++ {
+				if ft, ok := st.Field(i).Type().(*types.Named); ok {
+					if ft.Obj().Pkg() != nil && ft.Obj().Pkg().Path() == "sync" {
+						if fn := ft.Obj().Name(); fn == "Mutex" || fn == "RWMutex" {
+							hasMutex = true
+						}
+					}
+				}
+			}
+			if hasMutex && m.c.funcs[p.ImportPath+"."+name+".publishLocked"] != nil {
+				m.engineTypes[tn] = true
+			}
+		}
+	}
+}
+
+// collectFacts derives, flow-insensitively, the receiver-aliased local
+// set of a method, then records its direct writes, lock acquisitions
+// and derived-rooted in-module calls (closure bodies included: the
+// engine's fan-out closures run synchronously under the same lock).
+func collectFacts(c *Corpus, fi *FuncInfo) *methodFacts {
+	f := &methodFacts{derived: map[string]bool{}}
+	rn := recvName(fi.Decl)
+	if rn == "" || rn == "_" {
+		return f
+	}
+	f.derived[rn] = true
+	info := fi.Pkg.Info
+
+	derivedRoot := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		return id != nil && f.derived[id.Name]
+	}
+	// Alias propagation to a fixed point (aliases can chain through
+	// statements in any syntactic order inside closures).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if x.Tok != token.DEFINE {
+					return true
+				}
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || f.derived[id.Name] {
+						continue
+					}
+					if i < len(x.Rhs) && derivedRoot(x.Rhs[i]) {
+						f.derived[id.Name] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Tok == token.DEFINE && derivedRoot(x.X) {
+					for _, e := range []ast.Expr{x.Key, x.Value} {
+						if id, ok := e.(*ast.Ident); ok && !f.derived[id.Name] {
+							f.derived[id.Name] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				if isStateWrite(lhs, f.derived) {
+					f.directWrite = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if isStateWrite(x.X, f.derived) {
+				f.directWrite = true
+			}
+		case *ast.CallExpr:
+			if isLockCall(info, x) {
+				if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok && derivedRoot(sel.X) {
+					f.locks = true
+				}
+				return true
+			}
+			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok && derivedRoot(sel.X) {
+				if fn := callee(info, x); fn != nil && c.inModule(fn) {
+					if target := c.FuncFor(fn); target != nil {
+						f.calls = append(f.calls, target)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// isStateWrite reports whether assigning to lhs writes state reachable
+// from the derived set: a selector, index or dereference rooted at a
+// derived identifier. Rebinding a derived local itself is not a state
+// write.
+func isStateWrite(lhs ast.Expr, derived map[string]bool) bool {
+	if _, ok := lhs.(*ast.Ident); ok {
+		return false
+	}
+	id := rootIdent(lhs)
+	return id != nil && derived[id.Name]
+}
+
+func (m *mutability) fixpointMutators() {
+	for changed := true; changed; {
+		changed = false
+		for fi, f := range m.facts {
+			if m.mutator[fi] || fi.Has(DirReadonly) {
+				continue
+			}
+			if f.directWrite {
+				m.mutator[fi] = true
+				changed = true
+				continue
+			}
+			for _, callee := range f.calls {
+				if m.mutator[callee] {
+					m.mutator[fi] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// fixpointPublishers computes the methods that publish on every return
+// path, so calling one of them counts as publication at the caller.
+func (m *mutability) fixpointPublishers() {
+	for changed := true; changed; {
+		changed = false
+		for fi, f := range m.facts {
+			if m.publisher[fi] || fi.Decl.Body == nil {
+				continue
+			}
+			w := &pubWalker{c: m.c, m: m, fi: fi, derived: f.derived, silent: true}
+			// A publisher must end every path published-after-mutation;
+			// seed the walk as if a mutation just happened.
+			st, terminated := w.stmts(fi.Decl.Body.List, pubState{mutated: true})
+			ok := !w.sawUnpublishedReturn
+			if !terminated && !(st.published || st.deferred || !st.mutated) {
+				ok = false
+			}
+			if ok {
+				m.publisher[fi] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// isMutatorCall reports whether the call invokes an in-module mutator
+// method on a derived-rooted receiver.
+func (m *mutability) isMutatorCall(info *types.Info, call *ast.CallExpr, derived map[string]bool) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id := rootIdent(sel.X); id == nil || !derived[id.Name] {
+		return false
+	}
+	fn := callee(info, call)
+	if fn == nil || !m.c.inModule(fn) {
+		return false
+	}
+	target := m.c.FuncFor(fn)
+	return target != nil && m.mutator[target]
+}
+
+// isPublishCall reports whether the call publishes: publishLocked
+// itself, or a method that publishes on all paths, on a derived root.
+func (m *mutability) isPublishCall(info *types.Info, call *ast.CallExpr, derived map[string]bool) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id := rootIdent(sel.X); id == nil || !derived[id.Name] {
+		return false
+	}
+	if sel.Sel.Name == "publishLocked" {
+		return true
+	}
+	fn := callee(info, call)
+	if fn == nil {
+		return false
+	}
+	target := m.c.FuncFor(fn)
+	return target != nil && m.publisher[target]
+}
+
+// ── Path-sensitive walk ────────────────────────────────────────────────
+
+// pubState tracks one control-flow path: has engine state mutated
+// since the last publication, and is a publication deferred to run at
+// every return from here on.
+type pubState struct {
+	mutated   bool
+	published bool
+	deferred  bool
+}
+
+func (s pubState) ok() bool { return !s.mutated || s.published || s.deferred }
+
+// errGuard remembers that the previous statement ran a mutating call
+// whose error result is in errName; on the `if errName != nil` branch
+// the call is trusted to have mutated nothing (earlier mutations still
+// count — the guarded state is the pre-call one, not a clean one).
+type errGuard struct {
+	errName string
+	pre     pubState
+}
+
+type pubWalker struct {
+	c       *Corpus
+	m       *mutability
+	fi      *FuncInfo
+	derived map[string]bool
+	report  func(pos token.Pos, format string, args ...any)
+
+	silent               bool // publisher fixpoint probe: record, don't report
+	sawUnpublishedReturn bool
+}
+
+func (w *pubWalker) checkReturn(pos token.Pos, st pubState) {
+	if st.ok() {
+		return
+	}
+	w.sawUnpublishedReturn = true
+	if !w.silent {
+		w.report(pos, "%s mutates engine state under the mutex but returns without reaching publishLocked()",
+			w.fi.Obj.Name())
+	}
+}
+
+// classify folds the call and write events of an expression subtree
+// (closure bodies included — fan-out closures run synchronously) into
+// the state, and reports whether the subtree contains a mutating call
+// usable as an error-guard source.
+func (w *pubWalker) classify(n ast.Node, st pubState) (pubState, bool) {
+	if n == nil {
+		return st, false
+	}
+	info := w.fi.Pkg.Info
+	sawMutatorCall := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			if w.m.isPublishCall(info, x, w.derived) {
+				st.mutated = true
+				st.published = true
+				return true
+			}
+			if w.m.isMutatorCall(info, x, w.derived) {
+				st.mutated = true
+				st.published = false
+				sawMutatorCall = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if isStateWrite(lhs, w.derived) {
+					st.mutated = true
+					st.published = false
+				}
+			}
+		case *ast.IncDecStmt:
+			if isStateWrite(x.X, w.derived) {
+				st.mutated = true
+				st.published = false
+			}
+		}
+		return true
+	})
+	return st, sawMutatorCall
+}
+
+func (w *pubWalker) stmts(list []ast.Stmt, st pubState) (pubState, bool) {
+	var pending *errGuard
+	for _, s := range list {
+		var terminated bool
+		st, terminated, pending = w.stmt(s, st, pending)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+// stmt advances the state across one statement. It returns the state
+// after the statement, whether the statement always leaves the
+// function, and the error-guard available to the next statement.
+func (w *pubWalker) stmt(s ast.Stmt, st pubState, pending *errGuard) (pubState, bool, *errGuard) {
+	info := w.fi.Pkg.Info
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		st, _ = w.classify(x, st)
+		w.checkReturn(x.Pos(), st)
+		return st, true, nil
+
+	case *ast.ExprStmt:
+		if call, ok := unparen(x.X).(*ast.CallExpr); ok {
+			if id, isIdent := unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "panic" {
+				return st, true, nil
+			}
+		}
+		st, _ = w.classify(x.X, st)
+		return st, false, nil
+
+	case *ast.AssignStmt:
+		pre := st
+		var mutCall bool
+		st, mutCall = w.classify(x, st)
+		if mutCall && len(x.Rhs) == 1 {
+			if errName := lastErrorVar(info, x.Lhs); errName != "" {
+				return st, false, &errGuard{errName: errName, pre: pre}
+			}
+		}
+		return st, false, nil
+
+	case *ast.DeferStmt:
+		if w.deferPublishes(x.Call) {
+			st.deferred = true
+		}
+		return st, false, nil
+
+	case *ast.IfStmt:
+		var guard *errGuard
+		if x.Init != nil {
+			st, _, guard = w.stmt(x.Init, st, nil)
+		} else {
+			guard = pending
+		}
+		thenSt := st
+		if guard != nil && condTestsError(x.Cond, guard.errName) {
+			// The guarded branch trusts the erroring call to have
+			// mutated nothing; it resumes from the pre-call state.
+			thenSt = guard.pre
+		} else {
+			thenSt, _ = w.classify(x.Cond, thenSt)
+			st = thenSt
+		}
+		thenOut, thenTerm := w.stmts(x.Body.List, thenSt)
+		elseOut, elseTerm := st, false
+		switch e := x.Else.(type) {
+		case *ast.BlockStmt:
+			elseOut, elseTerm = w.stmts(e.List, st)
+		case *ast.IfStmt:
+			elseOut, elseTerm, _ = w.stmt(e, st, nil)
+		}
+		return mergeBranch(thenOut, thenTerm, elseOut, elseTerm)
+
+	case *ast.BlockStmt:
+		out, term := w.stmts(x.List, st)
+		return out, term, nil
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st, _, _ = w.stmt(x.Init, st, nil)
+		}
+		st, _ = w.classify(x.Cond, st)
+		bodyOut, _ := w.stmts(x.Body.List, st)
+		return loopMerge(st, bodyOut), false, nil
+
+	case *ast.RangeStmt:
+		st, _ = w.classify(x.X, st)
+		bodyOut, _ := w.stmts(x.Body.List, st)
+		return loopMerge(st, bodyOut), false, nil
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st, _, _ = w.stmt(x.Init, st, nil)
+		}
+		st, _ = w.classify(x.Tag, st)
+		return w.caseClauses(x.Body, st)
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			st, _, _ = w.stmt(x.Init, st, nil)
+		}
+		return w.caseClauses(x.Body, st)
+
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, st, pending)
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; treat as
+		// terminating so unreachable tails are not merged in.
+		return st, true, nil
+
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt, *ast.SelectStmt:
+		out, _ := w.classify(x, st)
+		return out, false, nil
+	}
+	out, _ := w.classify(s, st)
+	return out, false, nil
+}
+
+// caseClauses merges the bodies of a switch; a missing default keeps
+// the fall-through (no clause taken) path alive.
+func (w *pubWalker) caseClauses(body *ast.BlockStmt, st pubState) (pubState, bool, *errGuard) {
+	outs := []pubState{}
+	hasDefault := false
+	allTerm := true
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clauseSt := st
+		for _, e := range cc.List {
+			clauseSt, _ = w.classify(e, clauseSt)
+		}
+		out, term := w.stmts(cc.Body, clauseSt)
+		if !term {
+			outs = append(outs, out)
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, st)
+		allTerm = false
+	}
+	if allTerm {
+		return st, true, nil
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = mergeStates(merged, o)
+	}
+	return merged, false, nil
+}
+
+// deferPublishes reports whether a deferred call guarantees a
+// publication at function exit: publishLocked (or a publisher) either
+// directly or as an unconditional statement of a deferred closure.
+func (w *pubWalker) deferPublishes(call *ast.CallExpr) bool {
+	info := w.fi.Pkg.Info
+	if w.m.isPublishCall(info, call, w.derived) {
+		return true
+	}
+	lit, ok := unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	for _, s := range lit.Body.List {
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if inner, ok := unparen(es.X).(*ast.CallExpr); ok && w.m.isPublishCall(info, inner, w.derived) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func mergeBranch(a pubState, aTerm bool, b pubState, bTerm bool) (pubState, bool, *errGuard) {
+	switch {
+	case aTerm && bTerm:
+		return a, true, nil
+	case aTerm:
+		return b, false, nil
+	case bTerm:
+		return a, false, nil
+	}
+	return mergeStates(a, b), false, nil
+}
+
+func mergeStates(a, b pubState) pubState {
+	return pubState{
+		mutated:   a.mutated || b.mutated,
+		published: a.published && b.published,
+		deferred:  a.deferred && b.deferred,
+	}
+}
+
+// loopMerge accounts for a loop body that may run zero times.
+func loopMerge(pre, body pubState) pubState {
+	return pubState{
+		mutated:   pre.mutated || body.mutated,
+		published: pre.published && body.published,
+		deferred:  pre.deferred,
+	}
+}
+
+// lastErrorVar returns the name of the trailing error-typed assignee
+// of an assignment, or "".
+func lastErrorVar(info *types.Info, lhs []ast.Expr) string {
+	if len(lhs) == 0 {
+		return ""
+	}
+	id, ok := lhs[len(lhs)-1].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return ""
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil || obj.Type() == nil {
+		return ""
+	}
+	if named, ok := obj.Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return id.Name
+	}
+	return ""
+}
+
+// condTestsError matches `<errName> != nil`.
+func condTestsError(cond ast.Expr, errName string) bool {
+	be, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	x, xOk := unparen(be.X).(*ast.Ident)
+	y, yOk := unparen(be.Y).(*ast.Ident)
+	if xOk && x.Name == errName && yOk && y.Name == "nil" {
+		return true
+	}
+	return yOk && y.Name == errName && xOk && x.Name == "nil"
+}

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// registryAnalyzer enforces the strategy-registry contract: every
+// statically registered strategy must carry a distinct compile-time
+// constant name (a Name() method that returns a string literal or
+// constant — a computed name can collide at init time, where the
+// registry can only panic), and every constant of a const block
+// annotated "//wavedag:registry <RegisterFunc>" must have a registered
+// implementation, so the documented names never drift from the
+// registry contents.
+//
+// Registration points are discovered structurally: any function named
+// Register* taking a single interface with a Name() string method and
+// returning error. Registered types are resolved from direct calls
+// (Register(myStrategy{})) and from the init-loop idiom (ranging over
+// a []Strategy{...} literal). Forwarding wrappers that pass through an
+// interface value they did not construct are skipped — the analyzer
+// checks what it can see statically, the registries reject the rest at
+// runtime.
+var registryAnalyzer = &Analyzer{
+	Name: "registry",
+	Doc:  "strategy registrations need distinct constant names; registry constants need implementations",
+	Run:  runRegistry,
+}
+
+func runRegistry(c *Corpus, report func(pos token.Pos, format string, args ...any)) {
+	// Registration points, by canonical key; grouped by function name
+	// so annotated const blocks match re-exported wrappers too.
+	regFuncs := map[string]string{} // funcKey -> function name
+	for key, fi := range c.funcs {
+		if isRegistrationFunc(fi) {
+			regFuncs[key] = fi.Obj.Name()
+		}
+	}
+	if len(regFuncs) == 0 && len(c.constBlocks) == 0 {
+		return
+	}
+
+	// registered[funcName][name] = first registration position
+	registered := map[string]map[string]token.Pos{}
+
+	for _, fi := range c.decls {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		info := fi.Pkg.Info
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			f := callee(info, call)
+			if f == nil {
+				return true
+			}
+			funcName, isReg := regFuncs[funcKey(f)]
+			if !isReg {
+				return true
+			}
+			for _, concrete := range resolveRegistrants(c, fi, call, call.Args[0]) {
+				name, pos, ok := resolveStrategyName(c, concrete)
+				if !ok {
+					report(call.Pos(), "%s registers %s, whose Name() is not a compile-time constant; registry names must be literal",
+						funcName, concrete.Obj().Name())
+					continue
+				}
+				_ = pos
+				if registered[funcName] == nil {
+					registered[funcName] = map[string]token.Pos{}
+				}
+				if first, dup := registered[funcName][name]; dup {
+					report(call.Pos(), "%s registers duplicate name %q (first registered at %s)",
+						funcName, name, c.Fset.Position(first))
+					continue
+				}
+				registered[funcName][name] = call.Pos()
+			}
+			return true
+		})
+	}
+
+	for _, cb := range c.constBlocks {
+		names := registered[cb.Arg]
+		for _, spec := range cb.Decl.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, id := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				val, ok := constStringValue(cb.Pkg.Info, vs.Values[i])
+				if !ok {
+					report(id.Pos(), "registry constant %s is not a string constant", id.Name)
+					continue
+				}
+				if _, exists := names[val]; !exists {
+					report(id.Pos(), "registry constant %s = %q has no implementation registered via %s",
+						id.Name, val, cb.Arg)
+				}
+			}
+		}
+	}
+}
+
+// isRegistrationFunc matches func RegisterX(s SomeInterface) error
+// where SomeInterface has a Name() string method.
+func isRegistrationFunc(fi *FuncInfo) bool {
+	if fi.Decl.Recv != nil || len(fi.Obj.Name()) <= len("Register") ||
+		fi.Obj.Name()[:len("Register")] != "Register" {
+		return false
+	}
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !isErrorType(sig.Results().At(0).Type()) {
+		return false
+	}
+	iface, ok := sig.Params().At(0).Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		if m.Name() != "Name" {
+			continue
+		}
+		msig := m.Type().(*types.Signature)
+		if msig.Params().Len() == 0 && msig.Results().Len() == 1 {
+			if b, ok := msig.Results().At(0).Type().(*types.Basic); ok && b.Kind() == types.String {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// resolveRegistrants maps a registration argument to the concrete
+// strategy types it carries: a direct composite literal (&X{} / X{}),
+// or a range variable over a []Iface{...} literal whose loop encloses
+// the call. An untraceable interface value yields nothing.
+func resolveRegistrants(c *Corpus, fi *FuncInfo, call *ast.CallExpr, arg ast.Expr) []*types.Named {
+	info := fi.Pkg.Info
+	arg = unparen(arg)
+	if tv, ok := info.Types[arg]; ok && !types.IsInterface(tv.Type) {
+		if n := namedOf(tv.Type); n != nil {
+			return []*types.Named{n}
+		}
+		return nil
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	var found []*types.Named
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if call.Pos() < rs.Body.Pos() || call.End() > rs.Body.End() {
+			return true // the call is not inside this loop
+		}
+		v, ok := rs.Value.(*ast.Ident)
+		if !ok || v.Name != id.Name {
+			return true
+		}
+		lit, ok := unparen(rs.X).(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		found = found[:0] // innermost enclosing loop wins
+		for _, elt := range lit.Elts {
+			if tv, ok := info.Types[unparen(elt)]; ok {
+				if n := namedOf(tv.Type); n != nil {
+					found = append(found, n)
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// resolveStrategyName evaluates the concrete type's Name() method to
+// its compile-time constant value.
+func resolveStrategyName(c *Corpus, n *types.Named) (string, token.Pos, bool) {
+	if n.Obj().Pkg() == nil {
+		return "", token.NoPos, false
+	}
+	fi := c.funcs[n.Obj().Pkg().Path()+"."+n.Obj().Name()+".Name"]
+	if fi == nil || fi.Decl.Body == nil || len(fi.Decl.Body.List) != 1 {
+		return "", token.NoPos, false
+	}
+	ret, ok := fi.Decl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return "", token.NoPos, false
+	}
+	val, ok := constStringValue(fi.Pkg.Info, ret.Results[0])
+	if !ok {
+		return "", fi.Decl.Pos(), false
+	}
+	return val, fi.Decl.Pos(), true
+}

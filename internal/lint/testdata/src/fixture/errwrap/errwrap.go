@@ -1,0 +1,39 @@
+// Package errwrap exercises the sentinel-wrapping checker: proper
+// errors.Is plus %w wrapping, a == comparison, a switch on the error
+// value, and an fmt.Errorf that swallows the sentinel chain.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrShed = errors.New("shed")
+var ErrClosed = errors.New("closed")
+
+// Good wraps with %w and tests with errors.Is.
+func Good(err error) error {
+	if errors.Is(err, ErrShed) {
+		return fmt.Errorf("request dropped: %w", ErrShed)
+	}
+	return nil
+}
+
+// BadCompare tests a sentinel with ==.
+func BadCompare(err error) bool {
+	return err == ErrShed
+}
+
+// BadSwitch matches a sentinel in a switch case.
+func BadSwitch(err error) int {
+	switch err {
+	case ErrClosed:
+		return 1
+	}
+	return 0
+}
+
+// BadWrap forwards a sentinel with %v, breaking the errors.Is chain.
+func BadWrap() error {
+	return fmt.Errorf("engine: %v", ErrClosed)
+}

@@ -1,0 +1,67 @@
+// Package poolpair exercises the pool/reference pairing checker:
+// balanced Get/Put, a documented handoff, a leak, an acquire/release
+// protocol with one good and one forgetful caller, and a refs-counter
+// touch outside the annotated lifecycle functions.
+package poolpair
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+type snap struct {
+	refs atomic.Int32
+}
+
+// Balanced gets and puts in the same function.
+func Balanced() {
+	b := bufs.Get().(*[]byte)
+	bufs.Put(b)
+}
+
+// Handoff gets without putting; ownership passes to the caller.
+//
+//wavedag:pool-handoff
+func Handoff() *[]byte {
+	return bufs.Get().(*[]byte)
+}
+
+// Leak gets without putting and without a documented handoff.
+func Leak() *[]byte {
+	return bufs.Get().(*[]byte)
+}
+
+// Acquire hands out a snap the caller must Release.
+//
+//wavedag:acquire Release
+func Acquire() *snap {
+	s := &snap{}
+	s.incref()
+	return s
+}
+
+//wavedag:refcount
+func (s *snap) incref() { s.refs.Add(1) }
+
+// Release drops the caller's reference.
+//
+//wavedag:refcount
+func (s *snap) Release() { s.refs.Add(-1) }
+
+// GoodCaller releases what it acquires.
+func GoodCaller() {
+	s := Acquire()
+	s.Release()
+}
+
+// BadCaller forgets to Release.
+func BadCaller() *snap {
+	return Acquire()
+}
+
+// BadRef bumps the refs counter outside a refcount function.
+func BadRef(s *snap) {
+	s.refs.Add(1)
+}

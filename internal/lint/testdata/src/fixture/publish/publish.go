@@ -1,0 +1,60 @@
+// Package publish exercises the publish-on-mutate contract checker: a
+// mutex-guarded engine with a publishLocked method, one method that
+// publishes on every path, one that publishes via defer, and one that
+// leaks a mutation through an early return.
+package publish
+
+import (
+	"errors"
+	"sync"
+)
+
+var errTooBig = errors.New("too big")
+
+type Engine struct {
+	mu     sync.Mutex
+	seq    int
+	snap   int
+	closed bool
+}
+
+func (e *Engine) publishLocked() { e.snap = e.seq }
+
+// Good mutates and publishes on every return path.
+func (e *Engine) Good(n int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.seq += n
+	e.publishLocked()
+	return nil
+}
+
+// Deferred publishes through a defer registered before the mutation.
+func (e *Engine) Deferred(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.publishLocked()
+	e.seq += n
+}
+
+// Bad returns early after mutating, without publishing.
+func (e *Engine) Bad(n int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seq += n
+	if n > 10 {
+		return errTooBig
+	}
+	e.publishLocked()
+	return nil
+}
+
+// Seq reads under the mutex without mutating; no publish needed.
+func (e *Engine) Seq() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seq
+}

@@ -1,0 +1,62 @@
+// Package registry exercises the strategy-registry checker: two clean
+// loop-registered strategies, a strategy with a computed name, a
+// duplicate name, and an annotated const block with one orphan.
+package registry
+
+import "fmt"
+
+type Strategy interface {
+	Name() string
+}
+
+var strategies = map[string]Strategy{}
+
+// RegisterStrategy adds s to the registry.
+func RegisterStrategy(s Strategy) error {
+	if _, dup := strategies[s.Name()]; dup {
+		return fmt.Errorf("registry: duplicate %q", s.Name())
+	}
+	strategies[s.Name()] = s
+	return nil
+}
+
+// Names of the built-in strategies.
+//
+//wavedag:registry RegisterStrategy
+const (
+	NameAlpha   = "alpha"
+	NameBeta    = "beta"
+	NameMissing = "missing"
+)
+
+type alpha struct{}
+
+func (alpha) Name() string { return NameAlpha }
+
+type beta struct{}
+
+func (beta) Name() string { return NameBeta }
+
+var suffix = "x"
+
+type computed struct{}
+
+func (computed) Name() string { return "computed-" + suffix }
+
+type dupAlpha struct{}
+
+func (dupAlpha) Name() string { return NameAlpha }
+
+func init() {
+	for _, s := range []Strategy{alpha{}, beta{}} {
+		if err := RegisterStrategy(s); err != nil {
+			panic(err)
+		}
+	}
+	if err := RegisterStrategy(computed{}); err != nil {
+		panic(err)
+	}
+	if err := RegisterStrategy(dupAlpha{}); err != nil {
+		panic(err)
+	}
+}

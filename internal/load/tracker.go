@@ -113,7 +113,11 @@ func (t *Tracker) FitsAdditional(p *dipath.Path, w int) bool {
 // NumPaths returns the number of dipaths currently tracked.
 func (t *Tracker) NumPaths() int { return t.total }
 
-// Pi returns the current maximum arc load.
+// Pi returns the current maximum arc load. It is logically read-only:
+// the write below only refreshes the lazily maintained π cache after
+// removals, never the tracked loads themselves.
+//
+//wavedag:readonly
 func (t *Tracker) Pi() int {
 	if t.piStale {
 		t.pi = 0

@@ -104,6 +104,8 @@ func (c *AdmissionContext) CommitBestEffort(p *dipath.Path) (SessionID, error) {
 // ── Registry ───────────────────────────────────────────────────────────
 
 // Names of the built-in admission strategies.
+//
+//wavedag:registry RegisterAdmissionStrategy
 const (
 	AdmissionReject        = "reject"
 	AdmissionRetryAltRoute = "retry-alt-route"

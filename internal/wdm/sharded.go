@@ -1057,6 +1057,9 @@ func (e *ShardedEngine) fanOut(serial bool, n int, f func(int)) {
 // globalPath translates a shard-local dipath back to the engine's
 // topology. The translation is structure-preserving by construction, so
 // the arcs chain without revalidation (dipath.FromArcsTrusted).
+//
+//wavedag:lockfree
+//wavedag:allow-alloc (builds the translated path; runs against immutable tables)
 func (sh *engineShard) globalPath(e *ShardedEngine, p *dipath.Path) (*dipath.Path, error) {
 	if p.NumArcs() == 0 {
 		return dipath.FromVertices(e.net.Topology, sh.toGlobalVertex[p.First()])

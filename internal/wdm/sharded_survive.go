@@ -47,6 +47,19 @@ func (e *ShardedEngine) FailArc(a digraph.ArcID) (StormReport, error) {
 	start := time.Now()
 	c := e.comps[e.arcComp[a]]
 	ca := e.arcLoc[a]
+	// The topology mutated above, so every return path from here on —
+	// including a storm that errors out mid-way — must refresh the live
+	// labels, account the cut, and publish: a lock-free reader must
+	// never observe the cut arc without a matching snapshot. A storm can
+	// reroute, park or revive entries in any of the component's lanes;
+	// mark them all for a table rebuild.
+	defer func() {
+		c.refreshLiveLabel()
+		e.cuts++
+		e.stormNanos += time.Since(start).Nanoseconds()
+		c.markAllDirty()
+		e.publishLocked()
+	}()
 	var rep StormReport
 	if !c.twoLevel() {
 		r, err := c.plain.sess.FailArc(ca)
@@ -74,14 +87,6 @@ func (e *ShardedEngine) FailArc(a digraph.ArcID) (StormReport, error) {
 			Retries:  rrep.Retries + orep.Retries,
 		}
 	}
-	c.refreshLiveLabel()
-	e.cuts++
-	e.stormNanos += time.Since(start).Nanoseconds()
-	// A storm can reroute, park or revive entries in any of the
-	// component's lanes; mark them all for a table rebuild and publish
-	// so lock-free readers see the post-storm state.
-	c.markAllDirty()
-	e.publishLocked()
 	return rep, nil
 }
 
@@ -106,6 +111,14 @@ func (e *ShardedEngine) RestoreArc(a digraph.ArcID) (int, error) {
 	}
 	c := e.comps[e.arcComp[a]]
 	ca := e.arcLoc[a]
+	// As in FailArc: the topology mutated, so every return path must
+	// refresh the labels, account the repair, and publish.
+	defer func() {
+		c.refreshLiveLabel()
+		e.restores++
+		c.markAllDirty()
+		e.publishLocked()
+	}()
 	revived := 0
 	if !c.twoLevel() {
 		n, err := c.plain.sess.RestoreArc(ca)
@@ -127,10 +140,6 @@ func (e *ShardedEngine) RestoreArc(a digraph.ArcID) (int, error) {
 		c.scatterOverlayDeltas()
 		revived = n1 + n2 + c.crossLaneRevive()
 	}
-	c.refreshLiveLabel()
-	e.restores++
-	c.markAllDirty()
-	e.publishLocked()
 	return revived, nil
 }
 

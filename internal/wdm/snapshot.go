@@ -104,43 +104,55 @@ type EngineSnapshot struct {
 // Seq returns the snapshot's publication sequence number — strictly
 // increasing across publications, so two snapshots with equal Seq are
 // the same snapshot.
+//wavedag:lockfree
 func (s *EngineSnapshot) Seq() uint64 { return s.seq }
 
 // TopologyEpoch returns the topology epoch at publication (see
 // digraph.TopologyEpoch — FailArc and RestoreArc bump it).
+//wavedag:lockfree
 func (s *EngineSnapshot) TopologyEpoch() uint64 { return s.epoch }
 
 // Closed reports whether the engine was closed at publication.
+//wavedag:lockfree
 func (s *EngineSnapshot) Closed() bool { return s.closed }
 
 // Stats returns the engine stats frozen at publication.
+//wavedag:lockfree
 func (s *EngineSnapshot) Stats() EngineStats { return s.stats }
 
 // Len returns the number of live (lit) requests at publication.
+//wavedag:lockfree
 func (s *EngineSnapshot) Len() int { return s.live }
 
 // DarkLive returns the number of dark-parked entries at publication.
+//wavedag:lockfree
 func (s *EngineSnapshot) DarkLive() int { return s.dark }
 
 // Pi returns the load π at publication.
+//wavedag:lockfree
 func (s *EngineSnapshot) Pi() int { return s.pi }
 
 // NumLambda returns the wavelength count at publication. On engines
 // running a deferred coloring strategy it returns an error (λ is only
 // materialised on demand there — use ShardedEngine.NumLambdaStrong).
+//wavedag:lockfree
 func (s *EngineSnapshot) NumLambda() (int, error) { return s.lambda, s.lambdaErr }
 
 // OverlayLambda returns the maximum overlay band across components at
 // publication (see ShardedEngine.OverlayLambda); like NumLambda it
 // errors under a deferred coloring strategy.
+//wavedag:lockfree
 func (s *EngineSnapshot) OverlayLambda() (int, error) { return s.overlayLambda, s.lambdaErr }
 
 // NumArcs returns the length of the snapshot's arc-load vector.
+//wavedag:lockfree
 func (s *EngineSnapshot) NumArcs() int { return len(s.loads.arr) }
 
 // ArcLoadsInto copies the snapshot's per-arc load vector into dst,
 // reusing its capacity (growing only when too small), and returns the
 // resized slice.
+//wavedag:lockfree
+//wavedag:allow-alloc (grow path when dst is too small)
 func (s *EngineSnapshot) ArcLoadsInto(dst []int) []int {
 	src := s.loads.arr
 	if cap(dst) < len(src) {
@@ -153,10 +165,13 @@ func (s *EngineSnapshot) ArcLoadsInto(dst []int) []int {
 }
 
 // ArcLoads returns a copy of the snapshot's per-arc load vector.
+//wavedag:lockfree
+//wavedag:allow-alloc (delegates to the growing ArcLoadsInto)
 func (s *EngineSnapshot) ArcLoads() []int { return s.ArcLoadsInto(nil) }
 
 // lookupRow resolves id against the snapshot's entry tables, with the
 // same error shape as the live session lookup.
+//wavedag:lockfree
 func (s *EngineSnapshot) lookupRow(id ShardedID) (snapRow, *engineShard, error) {
 	if id.Shard < 0 || int(id.Shard) >= len(s.tables) {
 		return snapRow{}, nil, fmt.Errorf("wdm: unknown shard %d", id.Shard)
@@ -176,6 +191,8 @@ func (s *EngineSnapshot) lookupRow(id ShardedID) (snapRow, *engineShard, error) 
 
 // Path returns the route the request held at publication, in the
 // engine topology's identifiers (for a dark entry, the parked route).
+//wavedag:lockfree
+//wavedag:allow-alloc (the translated path is a fresh object by contract)
 func (s *EngineSnapshot) Path(id ShardedID) (*dipath.Path, error) {
 	r, sh, err := s.lookupRow(id)
 	if err != nil {
@@ -186,6 +203,7 @@ func (s *EngineSnapshot) Path(id ShardedID) (*dipath.Path, error) {
 
 // Wavelength returns the banded engine wavelength the request held at
 // publication, or -1 when it was parked dark or assignment is deferred.
+//wavedag:lockfree
 func (s *EngineSnapshot) Wavelength(id ShardedID) (int, error) {
 	r, _, err := s.lookupRow(id)
 	if err != nil {
@@ -195,6 +213,7 @@ func (s *EngineSnapshot) Wavelength(id ShardedID) (int, error) {
 }
 
 // IsDark reports whether the request was parked dark at publication.
+//wavedag:lockfree
 func (s *EngineSnapshot) IsDark(id ShardedID) (bool, error) {
 	r, _, err := s.lookupRow(id)
 	if err != nil {
@@ -207,6 +226,8 @@ func (s *EngineSnapshot) IsDark(id ShardedID) (bool, error) {
 // already dropped — which can only happen to a snapshot that is no
 // longer the published one, so callers retry against the current
 // pointer.
+//wavedag:lockfree
+//wavedag:refcount
 func (s *EngineSnapshot) acquire() bool {
 	for {
 		n := s.refs.Load()
@@ -223,6 +244,8 @@ func (s *EngineSnapshot) acquire() bool {
 // last drop (publisher reference included) sends the backing buffers
 // back to the recycling pools. Releasing more often than acquired
 // panics — the buffers would be recycled under a still-active reader.
+//wavedag:lockfree
+//wavedag:refcount
 func (s *EngineSnapshot) Release() {
 	n := s.refs.Add(-1)
 	if n == 0 {
@@ -236,6 +259,8 @@ func (s *EngineSnapshot) Release() {
 // left; tables still shared with a newer snapshot stay out until their
 // own count drops. Row path pointers are left in place — the pool is
 // GC-backed and every rebuild overwrites the rows it hands out.
+//wavedag:lockfree
+//wavedag:refcount
 func (s *EngineSnapshot) reclaim() {
 	e := s.eng
 	if s.loads != nil && s.loads.refs.Add(-1) == 0 {
@@ -252,6 +277,8 @@ func (s *EngineSnapshot) reclaim() {
 // one atomic load plus one atomic increment, no locks. Callers must
 // Release it when done. Successive calls may return the same snapshot
 // (nothing was published in between) but Seq never moves backwards.
+//wavedag:lockfree
+//wavedag:acquire Release
 func (e *ShardedEngine) Snapshot() *EngineSnapshot {
 	for {
 		if s := e.snap.Load(); s.acquire() {
@@ -271,23 +298,28 @@ func (e *ShardedEngine) Snapshot() *EngineSnapshot {
 
 // Stats reports the engine layout, overlay occupancy, per-lane traffic
 // shares and failure counters, from the current snapshot.
+//wavedag:lockfree
 func (e *ShardedEngine) Stats() EngineStats { return e.snap.Load().stats }
 
 // Len returns the number of live requests across all shards, from the
 // current snapshot.
+//wavedag:lockfree
 func (e *ShardedEngine) Len() int { return e.snap.Load().live }
 
 // Pi returns the load π of the live routing — the maximum over
 // components, exact under sub-sharding (see PiStrong for the aggregation
 // argument) — from the current snapshot.
+//wavedag:lockfree
 func (e *ShardedEngine) Pi() int { return e.snap.Load().pi }
 
 // DarkLive returns the number of entries parked dark across all lanes,
 // from the current snapshot.
+//wavedag:lockfree
 func (e *ShardedEngine) DarkLive() int { return e.snap.Load().dark }
 
 // NumFailedArcs reports how many arcs of the engine topology are cut,
 // from the current snapshot.
+//wavedag:lockfree
 func (e *ShardedEngine) NumFailedArcs() int { return e.snap.Load().stats.FailedArcs }
 
 // NumLambda returns the number of wavelengths in use (max over
@@ -295,10 +327,11 @@ func (e *ShardedEngine) NumFailedArcs() int { return e.snap.Load().stats.FailedA
 // overlay band), from the current snapshot. Engines running a deferred
 // coloring strategy fall back to the mutex-serialised strong read — a
 // deferred λ is a full solve, which publication does not pay per batch.
+//wavedag:lockfree
 func (e *ShardedEngine) NumLambda() (int, error) {
 	s := e.snap.Load()
 	if errors.Is(s.lambdaErr, errLambdaDeferred) {
-		return e.NumLambdaStrong()
+		return e.NumLambdaStrong() //wavedag:allow-blocking (documented deferred-λ fallback)
 	}
 	return s.lambda, s.lambdaErr
 }
@@ -306,21 +339,25 @@ func (e *ShardedEngine) NumLambda() (int, error) {
 // OverlayLambda returns the maximum overlay band across components
 // (see OverlayLambdaStrong), from the current snapshot; deferred
 // coloring strategies fall back to the strong read like NumLambda.
+//wavedag:lockfree
 func (e *ShardedEngine) OverlayLambda() (int, error) {
 	s := e.snap.Load()
 	if errors.Is(s.lambdaErr, errLambdaDeferred) {
-		return e.OverlayLambdaStrong()
+		return e.OverlayLambdaStrong() //wavedag:allow-blocking (documented deferred-λ fallback)
 	}
 	return s.overlayLambda, s.lambdaErr
 }
 
 // ArcLoads returns the per-arc load vector over the engine's topology,
 // from the current snapshot. Use ArcLoadsInto to reuse a buffer.
+//wavedag:lockfree
+//wavedag:allow-alloc (fresh copy by contract; ArcLoadsInto is the 0-alloc form)
 func (e *ShardedEngine) ArcLoads() []int { return e.ArcLoadsInto(nil) }
 
 // ArcLoadsInto copies the current snapshot's per-arc load vector into
 // dst, reusing its capacity — the allocation-free form of ArcLoads for
 // polling readers.
+//wavedag:lockfree
 func (e *ShardedEngine) ArcLoadsInto(dst []int) []int {
 	s := e.Snapshot()
 	dst = s.ArcLoadsInto(dst)
@@ -330,6 +367,8 @@ func (e *ShardedEngine) ArcLoadsInto(dst []int) []int {
 
 // Path returns the route of a live request as of the current snapshot,
 // in the engine topology's identifiers.
+//wavedag:lockfree
+//wavedag:allow-alloc (the translated path is a fresh object by contract)
 func (e *ShardedEngine) Path(id ShardedID) (*dipath.Path, error) {
 	s := e.Snapshot()
 	r, sh, err := s.lookupRow(id)
@@ -346,6 +385,7 @@ func (e *ShardedEngine) Path(id ShardedID) (*dipath.Path, error) {
 // current snapshot. Overlay lane wavelengths are reported in the
 // component's effective band (region maximum + overlay class) as of the
 // same boundary; -1 when parked dark or assignment is deferred.
+//wavedag:lockfree
 func (e *ShardedEngine) Wavelength(id ShardedID) (int, error) {
 	s := e.Snapshot()
 	w, err := s.Wavelength(id)
@@ -355,6 +395,7 @@ func (e *ShardedEngine) Wavelength(id ShardedID) (int, error) {
 
 // IsDark reports whether the request is parked dark, as of the current
 // snapshot.
+//wavedag:lockfree
 func (e *ShardedEngine) IsDark(id ShardedID) (bool, error) {
 	s := e.Snapshot()
 	dark, err := s.IsDark(id)
@@ -365,6 +406,7 @@ func (e *ShardedEngine) IsDark(id ShardedID) (bool, error) {
 // ── Publication ────────────────────────────────────────────────────────
 
 // getTable takes a table from the pool resized to n rows.
+//wavedag:pool-handoff (ownership passes to the published snapshot; reclaim returns it)
 func (e *ShardedEngine) getTable(n int) *snapTable {
 	t, _ := e.tablePool.Get().(*snapTable)
 	if t == nil {
@@ -379,6 +421,7 @@ func (e *ShardedEngine) getTable(n int) *snapTable {
 }
 
 // getVec takes an arc-load vector from the pool resized to n.
+//wavedag:pool-handoff (ownership passes to the published snapshot; reclaim returns it)
 func (e *ShardedEngine) getVec(n int) *snapVec {
 	v, _ := e.vecPool.Get().(*snapVec)
 	if v == nil {
@@ -476,6 +519,7 @@ func (e *ShardedEngine) refreshCompAggregates(c *engineComponent) {
 // their loads and refresh their aggregates; everything else carries
 // over from the previous snapshot — tables by shared reference, the
 // load vector by copy (or shared outright when nothing moved).
+//wavedag:refcount
 func (e *ShardedEngine) publishLocked() {
 	prev := e.snap.Load()
 	e.pubSeq++

@@ -197,7 +197,7 @@ func init() {
 // route.Router.
 type shortestStrategy struct{}
 
-func (shortestStrategy) Name() string { return RouteShortest.String() }
+func (shortestStrategy) Name() string { return RouteShortestName }
 
 func (shortestStrategy) NewState(g *digraph.Digraph) (RoutingState, error) {
 	return shortestState{route.NewRouter(g)}, nil
@@ -213,7 +213,7 @@ func (s shortestState) Route(req route.Request, _ *load.Tracker) (*dipath.Path, 
 // arc load against the session's live tracker (then hop count).
 type minLoadStrategy struct{}
 
-func (minLoadStrategy) Name() string { return RouteMinLoad.String() }
+func (minLoadStrategy) Name() string { return RouteMinLoadName }
 
 func (minLoadStrategy) NewState(g *digraph.Digraph) (RoutingState, error) {
 	return minLoadState{route.NewRouter(g)}, nil
@@ -229,7 +229,7 @@ func (s minLoadState) Route(req route.Request, loads *load.Tracker) (*dipath.Pat
 // dipath; state construction fails on non-UPP digraphs.
 type uppStrategy struct{}
 
-func (uppStrategy) Name() string { return RouteUPP.String() }
+func (uppStrategy) Name() string { return RouteUPPName }
 
 func (uppStrategy) NewState(g *digraph.Digraph) (RoutingState, error) {
 	r, err := upp.NewRouter(g)
@@ -253,6 +253,8 @@ func (s uppState) Route(req route.Request, _ *load.Tracker) (*dipath.Path, error
 
 // ColoringIncremental and ColoringFull are the names of the built-in
 // coloring strategies.
+//
+//wavedag:registry RegisterColoringStrategy
 const (
 	ColoringIncremental = "incremental"
 	ColoringFull        = "full"

@@ -37,14 +37,25 @@ const (
 	RouteUPP                           // unique dipaths (UPP-DAGs only)
 )
 
+// Names of the built-in routing strategies, as registered and as
+// returned by RoutingPolicy.String. They are constants so the registry
+// names can never drift from the documented ones.
+//
+//wavedag:registry RegisterRoutingStrategy
+const (
+	RouteShortestName = "shortest"
+	RouteMinLoadName  = "min-load"
+	RouteUPPName      = "upp"
+)
+
 func (p RoutingPolicy) String() string {
 	switch p {
 	case RouteShortest:
-		return "shortest"
+		return RouteShortestName
 	case RouteMinLoad:
-		return "min-load"
+		return RouteMinLoadName
 	case RouteUPP:
-		return "upp"
+		return RouteUPPName
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}

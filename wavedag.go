@@ -353,6 +353,49 @@
 // benchsmoke` (and `make benchsmoke-survive`, `make benchsmoke-serve`)
 // keeps every benchmark compiling and running.
 //
+// # Static analysis & invariants
+//
+// The concurrency and admission contracts documented above are
+// mechanically enforced by wavedaglint (cmd/wavedaglint, built on
+// internal/lint): a stdlib-only analyzer suite that loads the module
+// through `go list -export` and the gc export-data importer — no
+// third-party analysis framework. `make lint` runs it over the whole
+// repository and fails on any finding. Five analyzers cover the five
+// contracts:
+//
+//   - lockfree: functions annotated //wavedag:lockfree (the snapshot
+//     query plane) must not acquire sync primitives, block on
+//     channels, allocate, or call in-module code that is not itself
+//     annotated; //wavedag:allow-alloc and line-scoped
+//     //wavedag:allow-blocking are the audited escape hatches.
+//   - publish: a method that mutates engine state under the engine
+//     mutex must reach publishLocked() on every return path — early
+//     error returns included — so lock-free readers never trail the
+//     mutex-guarded truth; //wavedag:readonly marks logically
+//     read-only cache refreshes.
+//   - poolpair: sync.Pool Get/Put must pair within a function unless
+//     the escape is documented with //wavedag:pool-handoff, resources
+//     from //wavedag:acquire entry points must be released, and refs
+//     counters move only inside //wavedag:refcount lifecycle code.
+//   - errwrap: the exported sentinels (ErrShed, ErrBudgetExceeded,
+//     ErrEngineClosed, ...) must be wrapped with %w and tested with
+//     errors.Is, never compared with == or matched in a switch.
+//   - registry: strategy registrations need distinct compile-time
+//     constant names, and every constant of a const block annotated
+//     //wavedag:registry <RegisterFunc> must have a registered
+//     implementation, so documented names cannot drift from the
+//     registries.
+//
+// The analyzers are themselves pinned by golden-file tests over a
+// fixture module of seeded violations (internal/lint/testdata), and
+// the repository must pass its own suite (TestSelfRunClean). Alongside
+// the analyzers, fuzz targets pin the two load-bearing invariants the
+// linters cannot see: FuzzTheorem1Precheck replays identical op
+// streams through the Theorem-1 admission precheck and the
+// color-then-rollback probe on random internal-cycle-free topologies,
+// and FuzzPartitionRegions checks the arc-partition and cut-vertex
+// contract of the region decomposition on random DAGs.
+//
 // The sub-packages under internal/ hold the implementation; this package
 // re-exports the stable API.
 package wavedag
