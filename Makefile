@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify lint fuzzsmoke benchsmoke benchsmoke-sharded benchsmoke-subshard benchsmoke-admission benchsmoke-survive benchsmoke-snapshot benchsmoke-serve bench test
+.PHONY: verify lint fuzzsmoke benchsmoke benchsmoke-sharded benchsmoke-subshard benchsmoke-admission benchsmoke-survive benchsmoke-snapshot benchsmoke-serve benchsmoke-adapt bench test
 
 verify:
 	$(GO) build ./...
@@ -68,6 +68,14 @@ benchsmoke-snapshot:
 # submission/dispatch path cannot silently rot.
 benchsmoke-serve:
 	$(GO) test -run=NONE -bench='ServeCoalesce|ServeShedding' -benchtime=1x -cpu=1,4 ./...
+
+# Self-tuning layout smoke: the drifting-hotspot churn benchmark
+# (static subshard layout vs adaptive re-splitting, drift and uniform
+# load), at two GOMAXPROCS settings, so the re-layout path — cut
+# selection, overlay re-promotion, snapshot republication — cannot
+# silently rot.
+benchsmoke-adapt:
+	$(GO) test -run=NONE -bench='AdaptChurn' -benchtime=1x -cpu=1,4 ./...
 
 bench:
 	$(GO) run ./cmd/bench -benchtime 1s -out bench-latest.json

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-out bench.json] [-benchtime 1s] [-large] [-survive] [-readers 0,4] [-serve]
+//	go run ./cmd/bench [-out bench.json] [-benchtime 1s] [-large] [-survive] [-readers 0,4] [-serve] [-adapt]
 //
 // -survive adds the survivability sweep (fiber-cut churn over a 3-point
 // MTBF axis plus the sharded-engine counterpart); its snapshots land in
@@ -14,7 +14,11 @@
 // ...Strong reads under write churn); its snapshots land in
 // BENCH_PR7.json. -serve adds the serving front-end sweep (open-loop
 // Poisson load at {0.5, 1, 2}× measured capacity, shedding on vs
-// blocking backpressure); its snapshots land in BENCH_PR8.json.
+// blocking backpressure); its snapshots land in BENCH_PR8.json. -adapt
+// adds the self-tuning layout sweep (drifting-hotspot churn, static
+// subshard layout vs adaptive re-splitting, plus the budgeted
+// admission pair with adaptive banding); its snapshots land in
+// BENCH_PR10.json.
 //
 // The E-suite entries mirror bench_test.go so snapshots line up with
 // `go test -bench=.`; the large entries (Theorem 1 at n=500/paths=5000,
@@ -61,6 +65,7 @@ func main() {
 	large := flag.Bool("large", true, "include the large-instance workloads")
 	survive := flag.Bool("survive", false, "include the survivability (fiber-cut) sweep")
 	serveSweep := flag.Bool("serve", false, "include the serving front-end (open-loop overload) sweep")
+	adapt := flag.Bool("adapt", false, "include the self-tuning layout (drifting hotspot) sweep")
 	cpus := flag.String("cpus", "1,2,4", "comma-separated worker counts for the sharded churn sweep")
 	subshard := flag.String("subshard", "0,64", "comma-separated sub-shard thresholds for the giant-component sweep (0 = off)")
 	readers := flag.String("readers", "0,4", "comma-separated reader-goroutine counts for the query-plane sweep")
@@ -105,7 +110,7 @@ func main() {
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
 
-	for _, b := range suite(*large, *survive, *serveSweep, cpuList, subshardList, readerList) {
+	for _, b := range suite(*large, *survive, *serveSweep, *adapt, cpuList, subshardList, readerList) {
 		run(b.name, b.fn)
 	}
 
@@ -157,7 +162,7 @@ type bench struct {
 // giant-component sweep; readers the reader-goroutine axis of the
 // query-plane sweep; survive adds the fiber-cut sweep; serveSweep the
 // serving front-end overload sweep.
-func suite(large, survive, serveSweep bool, cpus, subshards, readers []int) []bench {
+func suite(large, survive, serveSweep, adapt bool, cpus, subshards, readers []int) []bench {
 	var benches []bench
 	add := func(name string, fn func(b *testing.B)) {
 		benches = append(benches, bench{name, fn})
@@ -411,6 +416,10 @@ func suite(large, survive, serveSweep bool, cpus, subshards, readers []int) []be
 		g := multiShard(4, 40, 21)
 		pool := route.NewRouter(g).AllToAll()
 		benches = append(benches, serveBenches("C=4-n=160", g, pool, 71)...)
+	}
+
+	if adapt {
+		benches = append(benches, adaptBenches(157)...)
 	}
 
 	// Survivability sweep: fiber-cut churn on the admission topology

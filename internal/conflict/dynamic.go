@@ -105,6 +105,17 @@ func (d *Dynamic) ForEachOnArc(a digraph.ArcID, f func(slot int)) {
 	}
 }
 
+// GrowArcs extends the per-arc incidence to cover n arcs. No live
+// dipath traverses an arc that did not exist when it was validated, so
+// loads, adjacency and the lower bound are all unchanged — the new
+// buckets start empty. Live-capacity hook; see load.Tracker.GrowArcs.
+// n at or below the current arc count is a no-op.
+func (d *Dynamic) GrowArcs(n int) {
+	for len(d.arcPaths) < n {
+		d.arcPaths = append(d.arcPaths, nil)
+	}
+}
+
 // LowerBound returns the maximum arc load of the live dipaths — the
 // paths through that arc form a clique, so this bounds both the clique
 // number ω and the chromatic number χ of the conflict graph from below.

@@ -106,6 +106,11 @@ func NewIncremental(g *digraph.Digraph, slack int) *Incremental {
 // Dynamic exposes the underlying mutable conflict graph (read-only use).
 func (ic *Incremental) Dynamic() *conflict.Dynamic { return ic.dyn }
 
+// GrowArcs extends the conflict layer's arc space to n arcs (see
+// conflict.Dynamic.GrowArcs). Coloring state is per-slot, not per-arc,
+// so the assignment, the palette and the drift ceiling are unaffected.
+func (ic *Incremental) GrowArcs(n int) { ic.dyn.GrowArcs(n) }
+
 // NumLambda returns the number of distinct wavelengths currently in use.
 func (ic *Incremental) NumLambda() int { return ic.numUsed }
 

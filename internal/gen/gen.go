@@ -427,6 +427,101 @@ func HotspotRequestPool(g *digraph.Digraph, hotCount int, hotFrac float64, size 
 	return pool
 }
 
+// DriftingHotspotRequestPool draws a pool of routable (src, dst) pairs
+// whose hotspot moves: the pool is cut into periods of k entries, and
+// within period p about hotFrac of the entries have both endpoints in a
+// window of hotCount consecutive vertex ids starting at (p*hotCount)
+// mod NumVertices — each period the window slides on, so the traffic
+// concentration migrates across the topology as the pool replays. Hot
+// pairs are adjacent (arc-endpoint) pairs of the window when it has
+// internal arcs — neighbourhood traffic any layout containing the arc
+// can serve — and fall back to the window's routable pairs, then to
+// uniform, as the window thins out. The remaining entries are uniform
+// over all routable pairs.
+// Replaying such a pool against a statically partitioned engine keeps
+// relighting a different partition: the workload the adaptive layout
+// plane (hot-region re-splitting, budget re-banding) is built for,
+// while HotspotRequestPool is the static special case any fixed layout
+// can be pre-tuned to. A graph with no routable pairs yields an empty
+// pool; k <= 0 means the hotspot never moves.
+func DriftingHotspotRequestPool(g *digraph.Digraph, hotCount int, hotFrac float64, size, k int, seed int64) [][2]digraph.Vertex {
+	n := g.NumVertices()
+	var all [][2]digraph.Vertex
+	seen := make([]bool, n)
+	queue := make([]digraph.Vertex, 0, n)
+	for u := 0; u < n; u++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		src := digraph.Vertex(u)
+		seen[src] = true
+		queue = append(queue[:0], src)
+		for head := 0; head < len(queue); head++ {
+			for _, a := range g.OutArcs(queue[head]) {
+				if h := g.Arc(a).Head; !seen[h] {
+					seen[h] = true
+					queue = append(queue, h)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v != u && seen[v] {
+				all = append(all, [2]digraph.Vertex{src, digraph.Vertex(v)})
+			}
+		}
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	if hotCount > n {
+		hotCount = n
+	}
+	if hotCount < 1 {
+		hotCount = 1
+	}
+	// Hot pairs per window start, computed lazily: starts repeat once the
+	// window wraps, so long pools reuse the scans.
+	hotCache := make(map[int][][2]digraph.Vertex)
+	hotFor := func(start int) [][2]digraph.Vertex {
+		if hot, ok := hotCache[start]; ok {
+			return hot
+		}
+		inWin := func(v digraph.Vertex) bool {
+			d := (int(v) - start + n) % n
+			return d < hotCount
+		}
+		var hot [][2]digraph.Vertex
+		for _, a := range g.Arcs() {
+			if a.Tail != a.Head && inWin(a.Tail) && inWin(a.Head) && !g.ArcFailed(a.ID) {
+				hot = append(hot, [2]digraph.Vertex{a.Tail, a.Head})
+			}
+		}
+		if len(hot) == 0 {
+			for _, pair := range all {
+				if inWin(pair[0]) && inWin(pair[1]) {
+					hot = append(hot, pair)
+				}
+			}
+		}
+		hotCache[start] = hot
+		return hot
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([][2]digraph.Vertex, 0, size)
+	for i := 0; i < size; i++ {
+		start := 0
+		if k > 0 {
+			start = (i / k * hotCount) % n
+		}
+		pick := all
+		if hot := hotFor(start); len(hot) > 0 && rng.Float64() < hotFrac {
+			pick = hot
+		}
+		pool = append(pool, pick[rng.Intn(len(pick))])
+	}
+	return pool
+}
+
 // RandomDAG returns a DAG on n vertices with m arcs drawn uniformly among
 // the forward pairs of the identity topological order (parallel arcs are
 // avoided when possible).

@@ -89,6 +89,17 @@ func (t *Tracker) RemoveArc(a digraph.ArcID) {
 	t.loads[a]--
 }
 
+// GrowArcs extends the tracker's arc space to n arcs; the new arcs
+// start unloaded. It is the live-capacity hook: an engine adding a
+// fiber to a running topology grows every tracker over that graph
+// before any path may traverse the new arc. Shrinking is not supported;
+// n at or below the current arc count is a no-op.
+func (t *Tracker) GrowArcs(n int) {
+	for len(t.loads) < n {
+		t.loads = append(t.loads, 0)
+	}
+}
+
 // Load returns the current load of arc a.
 func (t *Tracker) Load(a digraph.ArcID) int { return t.loads[a] }
 

@@ -834,6 +834,133 @@ func (s *Session) Verify() error {
 	return core.Verify(s.net.Topology, fam, res)
 }
 
+// ── Re-layout primitives (adaptive layout plane; see adaptive.go) ──────
+//
+// The sharded engine reshapes its lane layout online: budget re-banding
+// moves wavelengths between the region band and the overlay slice,
+// re-splitting carves a hot region in two, and live AddArc grows the
+// topology under a running engine. All three are built from the four
+// session primitives below plus growTopology — adoption moves an
+// already-admitted lightpath between lane sessions without touching the
+// admission counters (relocation is not a new offer), retirement drains
+// a lane whose entries moved away, and growTopology re-syncs per-arc
+// state after the session's graph gained arcs in place.
+
+// adoptPath relocates an already-admitted lightpath into this session:
+// p is colored under the session's budget with the same discipline as
+// restoreCommit (Theorem-1 precheck on cycle-free topologies,
+// color-under-limit elsewhere), and the new entry keeps the request and
+// best-effort flag of the original. Best-effort entries bypass the
+// budget check — they were admitted past it by the degrade strategy and
+// keep that status. ok=false means the budget rejected p with the
+// session untouched; the caller parks the entry dark instead (see
+// adoptDark).
+func (s *Session) adoptPath(req route.Request, p *dipath.Path, bestEffort bool) (SessionID, bool, error) {
+	var slot int
+	var err error
+	switch {
+	case s.budget <= 0 || bestEffort:
+		if slot, err = s.coloring.Add(p); err != nil {
+			return 0, false, err
+		}
+	case s.cycleFree && !s.rollbackProbe:
+		if !s.tracker.FitsAdditional(p, s.budget) {
+			return 0, false, nil
+		}
+		if slot, err = s.coloring.Add(p); err != nil {
+			return 0, false, err
+		}
+	default:
+		var ok bool
+		slot, ok, err = s.colorUnderBudget(p)
+		if err != nil || !ok {
+			return 0, false, err
+		}
+	}
+	id := s.insertEntry(req, p, slot, bestEffort)
+	s.enforceBudgetLambda()
+	return id, true, nil
+}
+
+// adoptDark relocates an entry into this session parked dark: the route
+// is retained for later revival sweeps but holds no coloring or load —
+// the same shape park leaves a storm victim in (dark entries are never
+// best-effort; park drops the flag and so does dark adoption).
+func (s *Session) adoptDark(req route.Request, p *dipath.Path) SessionID {
+	var idx int32
+	if n := len(s.freeIdx); n > 0 {
+		idx = s.freeIdx[n-1]
+		s.freeIdx = s.freeIdx[:n-1]
+	} else {
+		s.entries = append(s.entries, sessionEntry{})
+		idx = int32(len(s.entries) - 1)
+	}
+	e := &s.entries[idx]
+	s.darkSeq++
+	e.alive, e.dark, e.slot, e.darkAt, e.req, e.path = true, true, -1, s.darkSeq, req, p
+	s.dark++
+	return packID(idx, e.gen)
+}
+
+// drainRetire empties a session whose entries relocated to other lanes
+// during a re-layout: every slot stops resolving (stale lookups fail and
+// are forwarded by the engine), live/dark drop to zero, but the
+// cumulative admission and failure counters survive — the engine keeps
+// retired lanes in its stats aggregation so no traffic history is lost.
+// The coloring and tracker state is abandoned, not torn down: the
+// session is never offered another request.
+func (s *Session) drainRetire() {
+	s.entries = s.entries[:0]
+	s.freeIdx = s.freeIdx[:0]
+	s.slotEntry = s.slotEntry[:0]
+	s.live, s.dark, s.bestEffortLive = 0, 0, 0
+}
+
+// growTopology re-syncs the session's per-arc state after its topology
+// gained arcs in place (the engine's live AddArc): the load tracker and
+// the coloring state's arc incidence extend (the new arcs carry no
+// load), the routing state is rebuilt from its registered strategy —
+// precomputed tables may depend on the arc set, and a strategy may
+// legitimately refuse the grown graph (UPP uniqueness can break) — the
+// lazily built storm detour router is dropped, and the Theorem-1 gate is
+// recomputed: a new arc can close an internal cycle, demoting the
+// precheck to the general-DAG probe. On a routing error the session is
+// unchanged except for the (harmless) tracker growth.
+func (s *Session) growTopology() error {
+	g := s.net.Topology
+	s.tracker.GrowArcs(g.NumArcs())
+	if gr, ok := s.coloring.(interface{ GrowArcs(n int) }); ok {
+		gr.GrowArcs(g.NumArcs())
+	}
+	strat, ok := LookupRoutingStrategy(s.routingName)
+	if !ok {
+		return fmt.Errorf("wdm: routing strategy %q not registered", s.routingName)
+	}
+	rs, err := strat.NewState(g)
+	if err != nil {
+		return fmt.Errorf("wdm: routing setup: %w", err)
+	}
+	s.routing = rs
+	s.stormRouter = nil
+	if s.budget > 0 {
+		s.cycleFree = !cycles.HasInternalCycle(g)
+	}
+	return nil
+}
+
+// setBudget re-bands the session's wavelength budget in place (adaptive
+// banding): the caller guarantees the live assignment fits the new
+// budget, and the λ ≤ budget invariant is re-enforced immediately. Only
+// budgeted sessions re-band — admission machinery and the Theorem-1
+// gate were configured at construction and do not change here.
+func (s *Session) setBudget(w int) {
+	if s.budget <= 0 || w <= 0 {
+		return
+	}
+	s.budget = w
+	s.enforceBudgetLambda()
+}
+
 // countADMs counts the add-drop multiplexers of an assignment: one ADM
 // terminates lightpaths at each distinct (endpoint vertex, wavelength)
 // pair, so lightpaths that chain through a node on one wavelength share

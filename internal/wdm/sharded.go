@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -151,6 +152,19 @@ type ShardedEngine struct {
 	budget       int
 	overlaySlice int
 
+	// Layout configuration retained for the adaptive plane (see
+	// adaptive.go): the sub-shard threshold, the session options every
+	// lane is opened with (re-layouts open new lanes), and the adaptive
+	// switches with their tuning knobs and cumulative re-layout counters.
+	subshard    int
+	sessionOpts []SessionOption
+	adaptive    bool
+	resplit     bool
+	acfg        AdaptiveConfig
+	rebands     int
+	resplits    int
+	arcAdds     int
+
 	// Batch-scoped scratch, reused across ApplyBatch calls.
 	p1Scratch   []int32 // phase-1 shard indices
 	p2Scratch   []int32 // phase-2 component indices
@@ -206,13 +220,44 @@ type engineShard struct {
 	// one worker executing the shard (or the failure dispatch, under
 	// e.mu), cleared at publication.
 	dirty bool
+
+	// Re-layout state (see adaptive.go). A retired shard no longer
+	// executes ops: its session is drained and its entries relocated;
+	// forward maps every SessionID the shard ever handed out (and still
+	// held a live or dark entry at retirement) to the relocated id.
+	// forward is written once at retirement and immutable afterwards, so
+	// published snapshots may reference it lock-free.
+	retired bool
+	forward map[SessionID]ShardedID
+
+	// escal stashes region-lane adds that failed with ErrNoRoute on a
+	// component marked escalate (a re-split or capacity add made some
+	// co-region pairs region-unroutable): phase 2 re-runs them on the
+	// overlay lane, merged with the overlay's own ops in input order.
+	escal []shardOp
+
+	// Adaptive pressure gauges (see adaptive.go), refreshed at batch
+	// boundaries under e.mu: per-lane event counts and EWMAs of budget
+	// occupancy, admission saturation, and the lane's share of its
+	// component's events.
+	events     uint64
+	prevEvents uint64
+	occEW      float64
+	satEW      float64
+	evShareEW  float64
+	prevReq    int
+	prevRej    int
 }
 
 // shardOp is one dispatched batch event: the index into the caller's
-// op slice plus the shard-local request (BatchAdd only).
+// op slice, the shard-local request (BatchAdd only), and the resolved
+// shard-local session id (BatchRemove/BatchReroute only — dispatch
+// chases retired shards' forward maps, so the executing lane never
+// sees a stale handle).
 type shardOp struct {
 	idx int32
 	req route.Request
+	id  SessionID
 }
 
 // shardDelta records one shard-local path the lane added or removed
@@ -232,6 +277,22 @@ type engineComponent struct {
 	regions      *digraph.Regions
 	regionShards []*engineShard
 	overlay      *engineShard
+
+	// Adaptive layout state (see adaptive.go): the component's current
+	// overlay band (adaptive banding re-splits the engine budget per
+	// component), the batch serial of its last re-layout (hysteresis
+	// cooldown), the consecutive-batch pressure counters behind the
+	// hysteresis gate, whether the component was dissolved by a
+	// cross-component merge (dead components keep their slot so shard
+	// and component indices stay stable), and whether region lanes must
+	// escalate ErrNoRoute adds to the overlay (a re-split or capacity
+	// add made region views pessimistic about routability).
+	overlaySlice int
+	lastLayout   uint64
+	growPend     int
+	shrinkPend   int
+	dead         bool
+	escalate     bool
 
 	// liveLabel relabels the component's vertices by live connectivity
 	// while any of its arcs is cut — the incremental re-shard a failure
@@ -260,6 +321,10 @@ type shardedConfig struct {
 	budget       int
 	overlaySlice int
 	sessionOpts  []SessionOption
+	adaptive     bool
+	resplit      bool
+	acfg         AdaptiveConfig
+	acfgSet      bool
 }
 
 // ShardedOption configures NewShardedEngine.
@@ -361,6 +426,12 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 			overlaySlice = 1
 		}
 	}
+	if cfg.adaptive && cfg.budget == 0 {
+		return nil, fmt.Errorf("wdm: adaptive banding re-splits the wavelength budget between lanes; set WithEngineWavelengthBudget")
+	}
+	if !cfg.acfgSet {
+		cfg.acfg = DefaultAdaptiveConfig()
+	}
 	views, label, localV := n.Topology.PartitionComponents()
 	e := &ShardedEngine{
 		net:          n,
@@ -370,30 +441,15 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 		workers:      cfg.workers,
 		budget:       cfg.budget,
 		overlaySlice: overlaySlice,
+		subshard:     cfg.subshard,
+		sessionOpts:  cfg.sessionOpts,
+		adaptive:     cfg.adaptive,
+		resplit:      cfg.resplit,
+		acfg:         cfg.acfg,
 		compStamp:    make([]uint64, len(views)),
 	}
-	newSess := func(g *digraph.Digraph, budget int, what string) (*Session, error) {
-		subnet := &Network{Topology: g, Wavelengths: n.Wavelengths}
-		opts := cfg.sessionOpts
-		if cfg.budget > 0 {
-			// The lane budget rides after the caller's session options, so
-			// the engine's banding always wins over a stray
-			// WithWavelengthBudget forwarded through session options.
-			opts = append(opts[:len(opts):len(opts)], WithWavelengthBudget(budget))
-		}
-		sess, err := subnet.NewSession(opts...)
-		if err != nil {
-			return nil, fmt.Errorf("wdm: %s: %w", what, err)
-		}
-		return sess, nil
-	}
-	addShard := func(sh *engineShard) *engineShard {
-		sh.idx = int32(len(e.shards))
-		e.shards = append(e.shards, sh)
-		return sh
-	}
 	for ci, view := range views {
-		comp := &engineComponent{idx: int32(ci), view: view}
+		comp := &engineComponent{idx: int32(ci), view: view, overlaySlice: overlaySlice}
 		var regs *digraph.Regions
 		if cfg.subshard > 0 && view.G.NumVertices() >= cfg.subshard {
 			if r := view.G.PartitionRegions(); r.NumRegions() >= 2 {
@@ -401,11 +457,11 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 			}
 		}
 		if regs == nil {
-			sess, err := newSess(view.G, cfg.budget, fmt.Sprintf("component %d", ci))
+			sess, err := e.newLaneSession(view.G, cfg.budget, fmt.Sprintf("component %d", ci))
 			if err != nil {
 				return nil, err
 			}
-			comp.plain = addShard(&engineShard{
+			comp.plain = e.addShard(&engineShard{
 				kind: shardPlain, comp: comp, sess: sess,
 				toGlobalVertex: view.ToGlobalVertex,
 				toGlobalArc:    view.ToGlobalArc,
@@ -418,7 +474,7 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 			}
 			comp.regions = regs
 			for ri, rv := range regs.Views {
-				sess, err := newSess(rv.G, cfg.budget-overlaySlice, fmt.Sprintf("component %d region %d", ci, ri))
+				sess, err := e.newLaneSession(rv.G, cfg.budget-overlaySlice, fmt.Sprintf("component %d region %d", ci, ri))
 				if err != nil {
 					return nil, err
 				}
@@ -430,7 +486,7 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 				for i, ca := range rv.ToGlobalArc {
 					ga[i] = view.ToGlobalArc[ca]
 				}
-				comp.regionShards = append(comp.regionShards, addShard(&engineShard{
+				comp.regionShards = append(comp.regionShards, e.addShard(&engineShard{
 					kind: shardRegion, comp: comp, sess: sess,
 					toGlobalVertex: gv,
 					toGlobalArc:    ga,
@@ -438,11 +494,11 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 					toCompVertex:   rv.ToGlobalVertex,
 				}))
 			}
-			sess, err := newSess(view.G, overlaySlice, fmt.Sprintf("component %d overlay", ci))
+			sess, err := e.newLaneSession(view.G, overlaySlice, fmt.Sprintf("component %d overlay", ci))
 			if err != nil {
 				return nil, err
 			}
-			comp.overlay = addShard(&engineShard{
+			comp.overlay = e.addShard(&engineShard{
 				kind: shardOverlay, comp: comp, sess: sess,
 				toGlobalVertex: view.ToGlobalVertex,
 				toGlobalArc:    view.ToGlobalArc,
@@ -490,6 +546,36 @@ func (n *Network) NewShardedEngine(opts ...ShardedOption) (*ShardedEngine, error
 	return e, nil
 }
 
+// newLaneSession opens one lane session over g with the given lane
+// budget (ignored when the engine is unbudgeted), applying the
+// engine's forwarded session options. Used at construction and by
+// every re-layout (re-split, capacity add, component merge).
+func (e *ShardedEngine) newLaneSession(g *digraph.Digraph, budget int, what string) (*Session, error) {
+	subnet := &Network{Topology: g, Wavelengths: e.net.Wavelengths}
+	opts := e.sessionOpts
+	if e.budget > 0 {
+		// The lane budget rides after the caller's session options, so
+		// the engine's banding always wins over a stray
+		// WithWavelengthBudget forwarded through session options.
+		opts = append(opts[:len(opts):len(opts)], WithWavelengthBudget(budget))
+	}
+	sess, err := subnet.NewSession(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("wdm: %s: %w", what, err)
+	}
+	return sess, nil
+}
+
+// addShard appends a shard to the flattened layout, assigning its
+// index. The shard is born dirty so the next publication builds its
+// snapshot table.
+func (e *ShardedEngine) addShard(sh *engineShard) *engineShard {
+	sh.idx = int32(len(e.shards))
+	sh.dirty = true
+	e.shards = append(e.shards, sh)
+	return sh
+}
+
 // Close waits for any in-flight batch, stops the persistent worker
 // pool and freezes the engine: subsequent mutations return
 // ErrEngineClosed, queries keep answering — lock-free — from the final
@@ -513,8 +599,14 @@ func (e *ShardedEngine) Close() error {
 }
 
 // NumShards returns the number of executable shards: plain components,
-// regions and overlay lanes combined.
-func (e *ShardedEngine) NumShards() int { return len(e.shards) }
+// regions and overlay lanes combined, retired shards included (the
+// flattened layout only ever grows, so ShardedID.Shard stays a stable
+// index).
+func (e *ShardedEngine) NumShards() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.shards)
+}
 
 // NumComponents returns the number of weakly connected components of
 // the engine topology.
@@ -545,6 +637,14 @@ type LaneStats struct {
 	Revived  int // dark entries brought back by re-admission sweeps
 	Promoted int // best-effort entries upgraded to budgeted service
 	Dark     int // entries currently parked dark
+
+	// Adaptive pressure gauges (see adaptive.go): the maximum over this
+	// flavour's live lanes of the budget-occupancy EWMA (lane λ over
+	// lane budget; 0 when the engine is unbudgeted or λ is not eagerly
+	// materialised) and of the admission-saturation EWMA (rejected
+	// share of recent offers). These drive the adaptive banding gate.
+	Occupancy  float64
+	Saturation float64
 }
 
 func (l *LaneStats) add(s *Session) {
@@ -581,6 +681,10 @@ type EngineStats struct {
 	Restores   int   // repairs applied via RestoreArc
 	FailedArcs int   // arcs currently cut
 	StormNanos int64 // cumulative wall time spent inside restoration storms
+
+	Rebands  int // adaptive budget re-bandings applied (see adaptive.go)
+	Resplits int // hot-region re-splits applied
+	ArcAdds  int // live capacity adds applied via AddArc
 
 	Plain   LaneStats // whole-component shards
 	Region  LaneStats // region lanes of two-level components
@@ -632,8 +736,14 @@ func (e *ShardedEngine) statsLocked() EngineStats {
 		Restores:   e.restores,
 		FailedArcs: e.net.Topology.NumFailedArcs(),
 		StormNanos: e.stormNanos,
+		Rebands:    e.rebands,
+		Resplits:   e.resplits,
+		ArcAdds:    e.arcAdds,
 	}
 	for _, c := range e.comps {
+		if c.dead {
+			continue
+		}
 		if c.twoLevel() {
 			st.TwoLevel++
 			st.RegionShards += len(c.regionShards)
@@ -641,13 +751,28 @@ func (e *ShardedEngine) statsLocked() EngineStats {
 		}
 	}
 	for _, sh := range e.shards {
+		var l *LaneStats
 		switch sh.kind {
 		case shardPlain:
-			st.Plain.add(sh.sess)
+			l = &st.Plain
 		case shardRegion:
-			st.Region.add(sh.sess)
+			l = &st.Region
 		case shardOverlay:
-			st.Overlay.add(sh.sess)
+			l = &st.Overlay
+		default:
+			continue
+		}
+		// Retired shards still contribute their cumulative admission and
+		// failure counters (their drained sessions hold no live state);
+		// only live lanes contribute pressure gauges.
+		l.add(sh.sess)
+		if !sh.retired {
+			if sh.occEW > l.Occupancy {
+				l.Occupancy = sh.occEW
+			}
+			if sh.satEW > l.Saturation {
+				l.Saturation = sh.satEW
+			}
 		}
 	}
 	return st
@@ -675,7 +800,7 @@ func (e *ShardedEngine) OverlayLambdaStrong() (int, error) {
 	defer e.mu.Unlock()
 	max := 0
 	for _, c := range e.comps {
-		if !c.twoLevel() {
+		if c.dead || !c.twoLevel() {
 			continue
 		}
 		n, err := c.overlay.sess.NumLambda()
@@ -717,7 +842,7 @@ func (e *ShardedEngine) dispatchAdd(req route.Request) (*engineShard, route.Requ
 	if !c.twoLevel() {
 		return c.plain, route.Request{Src: lsrc, Dst: ldst}, nil
 	}
-	if r, ru, rv, ok := c.regions.CommonRegion(lsrc, ldst); ok {
+	if r, ru, rv, ok := c.regions.CommonRegionNewest(lsrc, ldst); ok {
 		return c.regionShards[r], route.Request{Src: ru, Dst: rv}, nil
 	}
 	return c.overlay, route.Request{Src: lsrc, Dst: ldst}, nil
@@ -730,6 +855,28 @@ func (e *ShardedEngine) shardOf(id ShardedID) (*engineShard, error) {
 		return nil, fmt.Errorf("wdm: unknown shard %d", id.Shard)
 	}
 	return e.shards[id.Shard], nil
+}
+
+// resolveID resolves a ShardedID to the live shard currently holding
+// the entry and its session id there, chasing retired shards' forward
+// maps — re-splits, capacity adds and component merges relocate
+// entries, but callers keep using the handle they were issued. The hop
+// count is bounded by the shard count (each hop lands on a
+// strictly-newer shard), so a corrupted handle cannot loop.
+func (e *ShardedEngine) resolveID(id ShardedID) (*engineShard, SessionID, error) {
+	sh, err := e.shardOf(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	lid := id.ID
+	for hops := 0; sh.retired; hops++ {
+		next, ok := sh.forward[lid]
+		if !ok || hops >= len(e.shards) {
+			return nil, 0, fmt.Errorf("wdm: unknown session id %d on retired shard %d", lid, sh.idx)
+		}
+		sh, lid = e.shards[next.Shard], next.ID
+	}
+	return sh, lid, nil
 }
 
 // globalizeErr rewrites shard-local vertex identifiers in a session
@@ -753,24 +900,28 @@ func (sh *engineShard) globalizeErr(prefix string, err error) error {
 }
 
 // apply executes one op against the shard. Called by at most one worker
-// per shard at a time. lreq is the shard-local request (BatchAdd only).
-// Region and overlay lanes log the path deltas for the phase-2 tracker
-// reconciliation through their session's path-delta hook — every
-// tracker mutation (op-driven or storm-driven) lands in sh.deltas, so
-// apply itself no longer captures before/after paths.
-func (sh *engineShard) apply(e *ShardedEngine, op BatchOp, lreq route.Request) BatchResult {
+// per shard at a time. so carries the shard-local request (BatchAdd)
+// or the resolved shard-local session id (BatchRemove/BatchReroute —
+// dispatch already chased forward maps, so so.id is live here even
+// when op.ID names a retired shard; results keep reporting the
+// caller's original handle). Region and overlay lanes log the path
+// deltas for the phase-2 tracker reconciliation through their
+// session's path-delta hook — every tracker mutation (op-driven or
+// storm-driven) lands in sh.deltas, so apply itself no longer captures
+// before/after paths.
+func (sh *engineShard) apply(e *ShardedEngine, op BatchOp, so shardOp) BatchResult {
 	sh.dirty = true // even a failed op may have mutated admission counters
 	switch op.Kind {
 	case BatchAdd:
-		id, err := sh.sess.Add(lreq)
+		id, err := sh.sess.Add(so.req)
 		if err != nil {
 			return BatchResult{Err: sh.globalizeErr("wdm: routing", err)}
 		}
 		return BatchResult{ID: ShardedID{Shard: sh.idx, ID: id}}
 	case BatchRemove:
-		return BatchResult{ID: op.ID, Err: sh.sess.Remove(op.ID.ID)}
+		return BatchResult{ID: op.ID, Err: sh.sess.Remove(so.id)}
 	case BatchReroute:
-		changed, err := sh.sess.Reroute(op.ID.ID)
+		changed, err := sh.sess.Reroute(so.id)
 		if err != nil {
 			err = sh.globalizeErr("wdm: rerouting", err)
 		}
@@ -831,8 +982,25 @@ func (e *ShardedEngine) applyLocked(ops []BatchOp, results []BatchResult) {
 	serial := len(ops) <= serialBatchThreshold
 	e.fanOut(serial, len(p1), func(i int) {
 		sh := e.shards[p1[i]]
+		escalating := sh.kind == shardRegion && sh.comp.escalate
 		for _, so := range sh.ops {
-			results[so.idx] = sh.apply(e, ops[so.idx], so.req)
+			res := sh.apply(e, ops[so.idx], so)
+			if escalating && res.Err != nil && ops[so.idx].Kind == BatchAdd {
+				// On an escalating component a region ErrNoRoute no longer
+				// proves the pair globally unroutable (a re-split or
+				// capacity add made the region view pessimistic): stash the
+				// add, translated to component vertices, for the overlay
+				// lane's phase-2 pass.
+				var nr route.ErrNoRoute
+				if errors.As(res.Err, &nr) {
+					sh.escal = append(sh.escal, shardOp{idx: so.idx, req: route.Request{
+						Src: sh.toCompVertex[so.req.Src],
+						Dst: sh.toCompVertex[so.req.Dst],
+					}})
+					continue
+				}
+			}
+			results[so.idx] = res
 		}
 		sh.ops = sh.ops[:0]
 	})
@@ -841,6 +1009,9 @@ func (e *ShardedEngine) applyLocked(ops []BatchOp, results []BatchResult) {
 		c.overlay.dirty = true // fold/scatter move the combined load view
 		c.overlayPhase(e, ops, results)
 	})
+	if e.adaptive || e.resplit {
+		e.adaptLocked()
+	}
 	e.publishLocked()
 }
 
@@ -851,7 +1022,7 @@ func (e *ShardedEngine) applyLocked(ops []BatchOp, results []BatchResult) {
 func (e *ShardedEngine) group(ops []BatchOp, results []BatchResult) (p1, p2 []int32) {
 	p1, p2 = e.p1Scratch[:0], e.p2Scratch[:0]
 	e.batchSerial++
-	enqueue := func(sh *engineShard, i int, req route.Request) {
+	enqueue := func(sh *engineShard, i int, req route.Request, lid SessionID) {
 		if sh.kind != shardPlain && e.compStamp[sh.comp.idx] != e.batchSerial {
 			e.compStamp[sh.comp.idx] = e.batchSerial
 			p2 = append(p2, sh.comp.idx)
@@ -859,7 +1030,8 @@ func (e *ShardedEngine) group(ops []BatchOp, results []BatchResult) (p1, p2 []in
 		if sh.kind != shardOverlay && len(sh.ops) == 0 {
 			p1 = append(p1, sh.idx)
 		}
-		sh.ops = append(sh.ops, shardOp{idx: int32(i), req: req})
+		sh.events++
+		sh.ops = append(sh.ops, shardOp{idx: int32(i), req: req, id: lid})
 	}
 	for i, op := range ops {
 		switch op.Kind {
@@ -869,14 +1041,14 @@ func (e *ShardedEngine) group(ops []BatchOp, results []BatchResult) (p1, p2 []in
 				results[i] = BatchResult{Err: err}
 				continue
 			}
-			enqueue(sh, i, lreq)
+			enqueue(sh, i, lreq, 0)
 		default:
-			sh, err := e.shardOf(op.ID)
+			sh, lid, err := e.resolveID(op.ID)
 			if err != nil {
 				results[i] = BatchResult{Err: err}
 				continue
 			}
-			enqueue(sh, i, route.Request{})
+			enqueue(sh, i, route.Request{}, lid)
 		}
 	}
 	e.p1Scratch, e.p2Scratch = p1, p2
@@ -892,10 +1064,28 @@ func (e *ShardedEngine) group(ops []BatchOp, results []BatchResult) (p1, p2 []in
 // routing and π.
 func (c *engineComponent) overlayPhase(e *ShardedEngine, ops []BatchOp, results []BatchResult) {
 	c.foldRegionDeltas()
-	for _, so := range c.overlay.ops {
-		results[so.idx] = c.overlay.apply(e, ops[so.idx], so.req)
+	oops := c.overlay.ops
+	if c.escalate {
+		// Merge region-lane escalations (ErrNoRoute adds the re-layout
+		// made region-unroutable) with the overlay's own ops, in input
+		// order — the merged order is a function of the batch alone, so
+		// outcomes stay deterministic across worker schedules.
+		merged := false
+		for _, rs := range c.regionShards {
+			if len(rs.escal) > 0 {
+				oops = append(oops, rs.escal...)
+				rs.escal = rs.escal[:0]
+				merged = true
+			}
+		}
+		if merged {
+			sort.Slice(oops, func(i, j int) bool { return oops[i].idx < oops[j].idx })
+		}
 	}
-	c.overlay.ops = c.overlay.ops[:0]
+	for _, so := range oops {
+		results[so.idx] = c.overlay.apply(e, ops[so.idx], so)
+	}
+	c.overlay.ops = oops[:0]
 	c.scatterOverlayDeltas()
 }
 
@@ -925,7 +1115,14 @@ func (c *engineComponent) foldRegionDeltas() {
 func (c *engineComponent) scatterOverlayDeltas() {
 	for _, d := range c.overlay.deltas {
 		for _, a := range d.path.Arcs() {
-			rs := c.regionShards[c.regions.ArcRegion[a]]
+			ri := c.regions.ArcRegion[a]
+			if ri < 0 {
+				// Overlay-owned arc (a capacity add that bridges regions
+				// belongs to no region lane); its load lives only in the
+				// overlay tracker.
+				continue
+			}
+			rs := c.regionShards[ri]
 			la := c.regions.LocalArc[a]
 			if d.add {
 				rs.sess.tracker.AddArc(la)
@@ -1093,11 +1290,11 @@ func (sh *engineShard) compLocalPath(p *dipath.Path) (*dipath.Path, error) {
 func (e *ShardedEngine) PathStrong(id ShardedID) (*dipath.Path, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	sh, err := e.shardOf(id)
+	sh, lid, err := e.resolveID(id)
 	if err != nil {
 		return nil, err
 	}
-	p, err := sh.sess.Path(id.ID)
+	p, err := sh.sess.Path(lid)
 	if err != nil {
 		return nil, err
 	}
@@ -1146,11 +1343,11 @@ func (c *engineComponent) lambda() (int, error) {
 func (e *ShardedEngine) WavelengthStrong(id ShardedID) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	sh, err := e.shardOf(id)
+	sh, lid, err := e.resolveID(id)
 	if err != nil {
 		return -1, err
 	}
-	w, err := sh.sess.Wavelength(id.ID)
+	w, err := sh.sess.Wavelength(lid)
 	if err != nil || sh.kind != shardOverlay || w < 0 {
 		return w, err
 	}
@@ -1183,6 +1380,9 @@ func (e *ShardedEngine) PiStrong() int {
 	defer e.mu.Unlock()
 	pi := 0
 	for _, c := range e.comps {
+		if c.dead {
+			continue
+		}
 		var p int
 		if c.twoLevel() {
 			p = c.overlay.sess.tracker.Pi()
@@ -1207,6 +1407,9 @@ func (e *ShardedEngine) NumLambdaStrong() (int, error) {
 	defer e.mu.Unlock()
 	num := 0
 	for _, c := range e.comps {
+		if c.dead {
+			continue
+		}
 		n, err := c.lambda()
 		if err != nil {
 			return 0, err
@@ -1226,6 +1429,9 @@ func (e *ShardedEngine) ArcLoadsStrong() []int {
 	defer e.mu.Unlock()
 	loads := make([]int, e.net.Topology.NumArcs())
 	for _, c := range e.comps {
+		if c.dead {
+			continue
+		}
 		if c.twoLevel() {
 			// The overlay tracker is the component's combined view.
 			c.overlay.sess.tracker.ScatterLoads(loads, c.view.ToGlobalArc)
@@ -1292,6 +1498,9 @@ func (e *ShardedEngine) Verify() error {
 	defer e.mu.Unlock()
 	errs := make([]error, len(e.comps))
 	e.fanOut(false, len(e.comps), func(i int) {
+		if e.comps[i].dead {
+			return
+		}
 		errs[i] = e.comps[i].verify()
 	})
 	for i, err := range errs {
@@ -1352,6 +1561,9 @@ func (e *ShardedEngine) Provisioning() (*Provisioning, error) {
 		return nil
 	}
 	for _, c := range e.comps {
+		if c.dead {
+			continue
+		}
 		var compLambda int
 		var compMethod core.Method
 		if !c.twoLevel() {
@@ -1398,11 +1610,11 @@ func (e *ShardedEngine) Provisioning() (*Provisioning, error) {
 // is safe concurrently with batches (handing out the live colorer
 // itself would not be).
 func (e *ShardedEngine) ShardRecolorStats(shard int) (warm, cold int, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if shard < 0 || shard >= len(e.shards) {
 		return 0, 0, false
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	st, ok := e.shards[shard].sess.coloring.(*incrementalState)
 	if !ok {
 		return 0, 0, false

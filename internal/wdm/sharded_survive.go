@@ -68,11 +68,17 @@ func (e *ShardedEngine) FailArc(a digraph.ArcID) (StormReport, error) {
 		}
 		rep = r
 	} else {
-		rs := c.regionShards[c.regions.ArcRegion[ca]]
-		rrep, err := rs.sess.FailArc(c.regions.LocalArc[ca])
-		if err != nil {
-			return StormReport{}, fmt.Errorf("wdm: component %d region: %w", c.idx, err)
+		var rrep StormReport
+		if ri := c.regions.ArcRegion[ca]; ri >= 0 {
+			rs := c.regionShards[ri]
+			r, err := rs.sess.FailArc(c.regions.LocalArc[ca])
+			if err != nil {
+				return StormReport{}, fmt.Errorf("wdm: component %d region: %w", c.idx, err)
+			}
+			rrep = r
 		}
+		// Overlay-owned arcs (ri < 0: capacity adds that bridge regions)
+		// storm only the overlay lane — no region session knows them.
 		c.foldRegionDeltas()
 		orep, err := c.overlay.sess.FailArc(ca)
 		if err != nil {
@@ -127,10 +133,14 @@ func (e *ShardedEngine) RestoreArc(a digraph.ArcID) (int, error) {
 		}
 		revived = n
 	} else {
-		rs := c.regionShards[c.regions.ArcRegion[ca]]
-		n1, err := rs.sess.RestoreArc(c.regions.LocalArc[ca])
-		if err != nil {
-			return 0, fmt.Errorf("wdm: component %d region: %w", c.idx, err)
+		n1 := 0
+		if ri := c.regions.ArcRegion[ca]; ri >= 0 {
+			rs := c.regionShards[ri]
+			n, err := rs.sess.RestoreArc(c.regions.LocalArc[ca])
+			if err != nil {
+				return 0, fmt.Errorf("wdm: component %d region: %w", c.idx, err)
+			}
+			n1 = n
 		}
 		c.foldRegionDeltas()
 		n2, err := c.overlay.sess.RestoreArc(ca)
@@ -157,6 +167,9 @@ func (e *ShardedEngine) Revive() (int, error) {
 	}
 	revived := 0
 	for _, c := range e.comps {
+		if c.dead {
+			continue
+		}
 		if !c.twoLevel() {
 			revived += c.plain.sess.Revive()
 			continue
@@ -230,9 +243,9 @@ func (e *ShardedEngine) DarkLiveStrong() int {
 func (e *ShardedEngine) IsDarkStrong(id ShardedID) (bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	sh, err := e.shardOf(id)
+	sh, lid, err := e.resolveID(id)
 	if err != nil {
 		return false, err
 	}
-	return sh.sess.IsDark(id.ID)
+	return sh.sess.IsDark(lid)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"wavedag/internal/digraph"
 	"wavedag/internal/dipath"
 )
 
@@ -58,9 +59,21 @@ type snapRow struct {
 // the snapshots currently referencing it — consecutive snapshots share
 // the table of a shard no batch touched — and the last drop returns it
 // to the engine's pool for the next rebuild.
+//
+// The table carries its own identifier translations (toGV/toGA) instead
+// of reading them off the live shard: re-layouts (adaptive re-banding,
+// re-splits, live AddArc) grow shard translation tables copy-on-write,
+// so the slices frozen here stay immutable for the snapshot's lifetime
+// while the live shard moves on. forward is the shard's relocation map
+// when the shard was retired by a re-layout (nil otherwise): lookups
+// chase it to the entry's new home, so ids issued before a re-layout
+// keep resolving against snapshots published after it.
 type snapTable struct {
-	refs atomic.Int32
-	rows []snapRow
+	refs    atomic.Int32
+	rows    []snapRow
+	toGV    []digraph.Vertex
+	toGA    []digraph.ArcID
+	forward map[SessionID]ShardedID
 }
 
 // snapVec is a snapshot's global arc-load vector, pooled and
@@ -98,6 +111,7 @@ type EngineSnapshot struct {
 	refs   atomic.Int64
 	loads  *snapVec
 	tables []*snapTable
+	topo   *digraph.Digraph // the engine topology at publication (see AddArc's copy-on-write)
 	eng    *ShardedEngine
 }
 
@@ -170,23 +184,44 @@ func (s *EngineSnapshot) ArcLoadsInto(dst []int) []int {
 func (s *EngineSnapshot) ArcLoads() []int { return s.ArcLoadsInto(nil) }
 
 // lookupRow resolves id against the snapshot's entry tables, with the
-// same error shape as the live session lookup.
+// same error shape as the live session lookup. When the id's shard was
+// retired by a re-layout the table's forward map is chased (bounded by
+// the table count — forward chains only ever point at younger shards).
 //wavedag:lockfree
-func (s *EngineSnapshot) lookupRow(id ShardedID) (snapRow, *engineShard, error) {
-	if id.Shard < 0 || int(id.Shard) >= len(s.tables) {
-		return snapRow{}, nil, fmt.Errorf("wdm: unknown shard %d", id.Shard)
+func (s *EngineSnapshot) lookupRow(id ShardedID) (snapRow, *snapTable, error) {
+	for hops := 0; ; hops++ {
+		if id.Shard < 0 || int(id.Shard) >= len(s.tables) {
+			return snapRow{}, nil, fmt.Errorf("wdm: unknown shard %d", id.Shard)
+		}
+		t := s.tables[id.Shard]
+		idx := int64(uint32(id.ID))
+		gen := uint32(uint64(id.ID) >> 32)
+		if idx < int64(len(t.rows)) {
+			if r := t.rows[idx]; r.state != snapFree && r.gen == gen {
+				return r, t, nil
+			}
+		}
+		next, ok := t.forward[id.ID]
+		if !ok || hops >= len(s.tables) {
+			return snapRow{}, nil, fmt.Errorf("wdm: session id %d: %w", id.ID, ErrUnknownSession)
+		}
+		id = next
 	}
-	rows := s.tables[id.Shard].rows
-	idx := int64(uint32(id.ID))
-	gen := uint32(uint64(id.ID) >> 32)
-	if idx >= int64(len(rows)) {
-		return snapRow{}, nil, fmt.Errorf("wdm: unknown session id %d: %w", id.ID, ErrUnknownSession)
+}
+
+// translatePath lifts a shard-local path into the topology the snapshot
+// was published against, through the table's frozen identifier arrays.
+//wavedag:lockfree
+//wavedag:allow-alloc (the translated path is a fresh object by contract)
+func (s *EngineSnapshot) translatePath(t *snapTable, p *dipath.Path) (*dipath.Path, error) {
+	if p.NumArcs() == 0 {
+		return dipath.FromVertices(s.topo, t.toGV[p.First()])
 	}
-	r := rows[idx]
-	if r.state == snapFree || r.gen != gen {
-		return snapRow{}, nil, fmt.Errorf("wdm: session id %d: %w", id.ID, ErrUnknownSession)
+	arcs := make([]digraph.ArcID, p.NumArcs())
+	for i, a := range p.Arcs() {
+		arcs[i] = t.toGA[a]
 	}
-	return r, s.eng.shards[id.Shard], nil
+	return dipath.FromArcsTrusted(s.topo, arcs...), nil
 }
 
 // Path returns the route the request held at publication, in the
@@ -194,11 +229,11 @@ func (s *EngineSnapshot) lookupRow(id ShardedID) (snapRow, *engineShard, error) 
 //wavedag:lockfree
 //wavedag:allow-alloc (the translated path is a fresh object by contract)
 func (s *EngineSnapshot) Path(id ShardedID) (*dipath.Path, error) {
-	r, sh, err := s.lookupRow(id)
+	r, t, err := s.lookupRow(id)
 	if err != nil {
 		return nil, err
 	}
-	return sh.globalPath(s.eng, r.path)
+	return s.translatePath(t, r.path)
 }
 
 // Wavelength returns the banded engine wavelength the request held at
@@ -371,14 +406,12 @@ func (e *ShardedEngine) ArcLoadsInto(dst []int) []int {
 //wavedag:allow-alloc (the translated path is a fresh object by contract)
 func (e *ShardedEngine) Path(id ShardedID) (*dipath.Path, error) {
 	s := e.Snapshot()
-	r, sh, err := s.lookupRow(id)
+	// The pin is held through the translation: the table's identifier
+	// arrays are frozen per publication, and releasing early would let
+	// the pool recycle the table header under the read.
+	p, err := s.Path(id)
 	s.Release()
-	if err != nil {
-		return nil, err
-	}
-	// The translation runs unpinned: the row's path object and the
-	// shard's identifier tables are immutable.
-	return sh.globalPath(e, r.path)
+	return p, err
 }
 
 // Wavelength returns the wavelength of a live request as of the
@@ -436,8 +469,13 @@ func (e *ShardedEngine) getVec(n int) *snapVec {
 }
 
 // snapDirty reports whether any of the component's shards mutated since
-// the last publication.
+// the last publication. Dead components (absorbed by an AddArc merge)
+// have no live lanes left; their retired shards are republished through
+// the per-shard dirty flags, not component dirtiness.
 func (c *engineComponent) snapDirty() bool {
+	if c.dead {
+		return false
+	}
 	if !c.twoLevel() {
 		return c.plain.dirty
 	}
@@ -453,9 +491,12 @@ func (c *engineComponent) snapDirty() bool {
 }
 
 // markAllDirty flags every shard of the component for a table rebuild
-// at the next publication — the coarse mark the (rare) failure events
-// and revival sweeps use, since their storms can touch any lane.
+// at the next publication — the coarse mark the (rare) failure events,
+// revival sweeps and re-layouts use, since they can touch any lane.
 func (c *engineComponent) markAllDirty() {
+	if c.dead {
+		return
+	}
 	if !c.twoLevel() {
 		c.plain.dirty = true
 		return
@@ -469,8 +510,14 @@ func (c *engineComponent) markAllDirty() {
 // refreshCompAggregates recomputes a component's cached snapshot
 // aggregates (λ with its banding base, π, live and dark counts) from
 // its live sessions. Called under e.mu for components the last interval
-// dirtied; clean components keep their cache.
+// dirtied; clean components keep their cache. Dead components aggregate
+// as zero — their traffic lives on in the component that absorbed them.
 func (e *ShardedEngine) refreshCompAggregates(c *engineComponent) {
+	if c.dead {
+		c.aggLambda, c.aggLambdaErr, c.aggRegionBase, c.aggOverlayLambda = 0, nil, 0, 0
+		c.aggPi, c.aggLive, c.aggDark = 0, 0, 0
+		return
+	}
 	if !c.twoLevel() {
 		c.aggRegionBase = 0
 		c.aggOverlayLambda = 0
@@ -527,6 +574,7 @@ func (e *ShardedEngine) publishLocked() {
 		seq:    e.pubSeq,
 		epoch:  e.net.Topology.TopologyEpoch(),
 		closed: e.closed,
+		topo:   e.net.Topology,
 		eng:    e,
 		tables: make([]*snapTable, len(e.shards)),
 	}
@@ -551,15 +599,25 @@ func (e *ShardedEngine) publishLocked() {
 
 	// Arc-load vector: shared when nothing moved, otherwise copied from
 	// the previous snapshot with dirty components re-scattered over it.
+	// A live AddArc can grow the arc space between publications, so the
+	// copy clears the tail beyond the previous vector (the growing
+	// component is dirty and re-scatters over it anyway — the clear keeps
+	// pooled garbage out of arcs no component claims yet).
 	if !anyDirty && prev != nil {
 		next.loads = prev.loads
 		next.loads.refs.Add(1)
 	} else {
 		vec := e.getVec(e.net.Topology.NumArcs())
 		if prev != nil {
-			copy(vec.arr, prev.loads.arr)
+			n := copy(vec.arr, prev.loads.arr)
+			clear(vec.arr[n:])
+		} else {
+			clear(vec.arr)
 		}
 		for i, c := range e.comps {
+			if c.dead {
+				continue
+			}
 			if prev != nil && !e.snapCompDirty[i] {
 				continue
 			}
@@ -575,9 +633,14 @@ func (e *ShardedEngine) publishLocked() {
 	}
 
 	// Entry tables: rebuild dirty shards from their sessions, share the
-	// rest with the previous snapshot.
+	// rest with the previous snapshot. Shards born after the previous
+	// publication (re-splits, AddArc merges) have no table to share and
+	// are created dirty. A rebuild freezes the shard's current identifier
+	// translations and forward map into the table: the engine only ever
+	// replaces those fields copy-on-write, so the frozen slices stay
+	// immutable for this snapshot's lifetime.
 	for i, sh := range e.shards {
-		if prev != nil && !sh.dirty {
+		if prev != nil && !sh.dirty && i < len(prev.tables) {
 			t := prev.tables[i]
 			t.refs.Add(1)
 			next.tables[i] = t
@@ -589,6 +652,7 @@ func (e *ShardedEngine) publishLocked() {
 			band = sh.comp.aggRegionBase
 		}
 		sh.sess.fillSnapshotRows(t.rows, band)
+		t.toGV, t.toGA, t.forward = sh.toGlobalVertex, sh.toGlobalArc, sh.forward
 		t.refs.Store(1)
 		next.tables[i] = t
 		sh.dirty = false

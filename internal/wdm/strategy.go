@@ -302,6 +302,12 @@ func (s *incrementalState) ForEachSlotOnArc(a digraph.ArcID, f func(slot int)) {
 	s.ic.Dynamic().ForEachOnArc(a, f)
 }
 
+// GrowArcs implements the optional arc-growth hook a live AddArc drives
+// through Session.growTopology: the conflict layer's arc incidence
+// extends to the grown topology. States without per-arc structure (the
+// deferred full strategy) simply lack the method.
+func (s *incrementalState) GrowArcs(n int) { s.ic.GrowArcs(n) }
+
 // fullColoring defers all wavelength assignment to a from-scratch
 // ColorDAG run: Add and Remove only track the live set, and Assignment
 // (or NumLambda) runs the strongest applicable theorem on the snapshot.
